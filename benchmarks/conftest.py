@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures: it prints
+the series the paper plots (so the run log *is* the reproduction
+artifact), writes CSV under ``benchmarks/results/``, asserts the shape
+claims, and times a representative kernel via pytest-benchmark.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(title: str, lines: "list[str]") -> None:
+    """Print a figure's regenerated series, bracketed for greppability."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}")
+    for line in lines:
+        print(line)

@@ -1,0 +1,66 @@
+"""FIG10 — example tracking traces, FTTT vs PM (paper Fig. 10).
+
+Panels (a,b): grid deployment; panels (c,d): uniform random deployment.
+The paper shows scatter plots of estimated points against the true trace;
+we regenerate the underlying per-round estimates, write them to CSV, and
+report the error statistics.  k = 5, eps = 1, as captioned.
+
+The timed quantity is the full two-tracker trace regeneration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import summarize_errors
+from repro.config import GridConfig, SimulationConfig
+from repro.sim.runner import run_all_trackers
+from repro.sim.scenario import make_scenario
+
+from conftest import emit
+
+CFG = SimulationConfig(
+    n_sensors=16, sampling_times=5, resolution_dbm=1.0, grid=GridConfig(cell_size_m=2.0)
+)
+
+
+@pytest.mark.parametrize("deployment", ["grid", "random"])
+def test_fig10_trace_quality(benchmark, results_dir, deployment):
+    def regenerate():
+        scenario = make_scenario(CFG, deployment=deployment, seed=17)
+        return run_all_trackers(scenario, ["fttt", "pm"], 18)
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    fttt, pm = results["fttt"], results["pm"]
+    rows = ["t,true_x,true_y,fttt_x,fttt_y,pm_x,pm_y"]
+    for i in range(len(fttt)):
+        rows.append(
+            f"{fttt.times[i]:.2f},{fttt.truth[i][0]:.2f},{fttt.truth[i][1]:.2f},"
+            f"{fttt.positions[i][0]:.2f},{fttt.positions[i][1]:.2f},"
+            f"{pm.positions[i][0]:.2f},{pm.positions[i][1]:.2f}"
+        )
+    (results_dir / f"fig10_{deployment}.csv").write_text("\n".join(rows))
+
+    lines = [
+        f"{name:5s}  mean={summarize_errors(res).mean:6.2f}  "
+        f"std={summarize_errors(res).std:6.2f}  p90={summarize_errors(res).p90:6.2f}  "
+        f"max={summarize_errors(res).max:6.2f}"
+        for name, res in results.items()
+    ]
+    emit(f"FIG 10 — tracking example, {deployment} deployment (k=5, eps=1)", lines)
+
+    # shape: FTTT's scatter hugs the trace at least as tightly as PM's
+    assert summarize_errors(fttt).mean < summarize_errors(pm).mean * 1.2
+    for res in results.values():
+        assert res.positions.min() >= 0 and res.positions.max() <= CFG.field_size_m
+
+
+def test_fig10_fttt_round_benchmark(benchmark):
+    """Microbench: one FTTT localization round on the Fig. 10 world."""
+    scenario = make_scenario(CFG, deployment="grid", seed=17)
+    tracker = scenario.make_tracker("fttt")
+    rng = np.random.default_rng(0)
+    batch = scenario.sampler.sample_static(np.array([48.0, 52.0]), rng)
+    tracker.localize_batch(batch)  # seed the heuristic matcher
+
+    benchmark(tracker.localize_batch, batch)

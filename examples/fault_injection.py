@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Fault tolerance under sensor failures (paper §4.4-3).
+
+Sweeps an increasing fault load — transient dropout, permanent crashes,
+base-station packet loss, and all three combined — and shows that FTTT
+degrades gracefully: the Eq. 6 fill keeps sampling vectors full-length,
+so every localization still resolves to a face.
+
+Run:  python examples/fault_injection.py
+"""
+
+from repro import SimulationConfig, make_scenario, run_tracking
+from repro.analysis.metrics import format_table, summarize_errors
+from repro.config import GridConfig
+from repro.network.basestation import BaseStation
+from repro.network.faults import (
+    CompositeFaults,
+    CrashFailures,
+    IndependentDropout,
+    IntermittentFaults,
+)
+
+
+def main() -> None:
+    config = SimulationConfig(
+        n_sensors=15, duration_s=30.0, grid=GridConfig(cell_size_m=2.0)
+    )
+    scenario = make_scenario(config, seed=7)
+
+    scenarios = {
+        "no faults": (None, None),
+        "dropout 10%": (IndependentDropout(p=0.10), None),
+        "dropout 30%": (IndependentDropout(p=0.30), None),
+        "crashes 20%": (CrashFailures(crash_fraction=0.2, horizon_rounds=30), None),
+        "intermittent bursts": (IntermittentFaults(p_fail=0.1, p_recover=0.3), None),
+        "uplink loss 10%": (None, BaseStation(packet_loss_p=0.10)),
+        "everything at once": (
+            CompositeFaults(
+                models=(
+                    IndependentDropout(p=0.10),
+                    CrashFailures(crash_fraction=0.2, horizon_rounds=30),
+                )
+            ),
+            BaseStation(packet_loss_p=0.05),
+        ),
+    }
+
+    rows = {}
+    for name, (faults, bs) in scenarios.items():
+        tracker = scenario.make_tracker("fttt")
+        result = run_tracking(scenario, tracker, 100, faults=faults, basestation=bs)
+        rows[name] = summarize_errors(result)
+        reporting = [e.n_reporting for e in result.estimates]
+        rows[name + " [sensors up]"] = [
+            min(reporting),
+            sum(reporting) / len(reporting),
+            max(reporting),
+            0,
+            0,
+            0,
+        ]
+
+    print(format_table(rows, title="FTTT under fault injection (15 sensors)"))
+    print(
+        "\nEvery row resolves every round: the * fill of Eq. 6 keeps the\n"
+        "sampling vector full-length no matter how many sensors are down."
+    )
+
+
+if __name__ == "__main__":
+    main()

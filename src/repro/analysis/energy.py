@@ -1,0 +1,130 @@
+"""Network energy ledger.
+
+Pulls the scattered energy facts into one budget: per-round sampling and
+report costs (sensor side), relay forwarding (routing side), and duty-
+cycle savings — projecting network lifetime under a tracking workload.
+This is the quantitative backing for §5.2's deployment-density caution
+and for the duty-cycling extension's headline number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EnergyModel", "EnergyLedger", "project_lifetime"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-operation energy costs (joules) — mote-class defaults."""
+
+    sample_j: float = 1e-4  # one ADC sample + processing
+    report_tx_j: float = 5e-4  # transmit one report
+    relay_tx_j: float = 5e-4  # forward someone else's report
+    idle_listen_j: float = 1e-4  # per round awake but idle
+    sleep_j: float = 1e-6  # per round asleep
+    battery_j: float = 100.0
+
+    def __post_init__(self) -> None:
+        for name in ("sample_j", "report_tx_j", "relay_tx_j", "idle_listen_j", "sleep_j"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.battery_j <= 0:
+            raise ValueError("battery must be positive")
+
+
+@dataclass
+class EnergyLedger:
+    """Accumulates per-sensor energy spending round by round."""
+
+    n_sensors: int
+    model: EnergyModel
+
+    def __post_init__(self) -> None:
+        if self.n_sensors < 1:
+            raise ValueError("need at least one sensor")
+        self.spent_j = np.zeros(self.n_sensors)
+        self.rounds = 0
+
+    def charge_round(
+        self,
+        k: int,
+        *,
+        awake: "np.ndarray | None" = None,
+        reported: "np.ndarray | None" = None,
+        relay_counts: "np.ndarray | None" = None,
+    ) -> None:
+        """Account one localization round.
+
+        Parameters
+        ----------
+        k : samples taken by each awake sensor.
+        awake : (n,) bool — sensors awake this round (default: all).
+        reported : (n,) bool — sensors that transmitted a report
+            (default: the awake set).
+        relay_counts : (n,) int — reports each sensor forwarded for others.
+        """
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        m = self.model
+        awake = np.ones(self.n_sensors, dtype=bool) if awake is None else np.asarray(awake, bool)
+        reported = awake if reported is None else np.asarray(reported, bool)
+        cost = np.where(awake, k * m.sample_j + m.idle_listen_j, m.sleep_j)
+        cost = cost + np.where(reported, m.report_tx_j, 0.0)
+        if relay_counts is not None:
+            cost = cost + np.asarray(relay_counts, dtype=float) * m.relay_tx_j
+        self.spent_j += cost
+        self.rounds += 1
+
+    @property
+    def remaining_j(self) -> np.ndarray:
+        return np.maximum(self.model.battery_j - self.spent_j, 0.0)
+
+    @property
+    def dead(self) -> np.ndarray:
+        return self.remaining_j <= 0.0
+
+    @property
+    def mean_spend_per_round_j(self) -> np.ndarray:
+        if self.rounds == 0:
+            return np.zeros(self.n_sensors)
+        return self.spent_j / self.rounds
+
+    def projected_lifetime_rounds(self) -> float:
+        """Rounds until first sensor death, extrapolating current spending."""
+        per_round = self.mean_spend_per_round_j
+        busiest = per_round.max()
+        if busiest <= 0:
+            return float("inf")
+        return float(self.model.battery_j / busiest)
+
+
+def project_lifetime(
+    n_sensors: int,
+    k: int,
+    *,
+    model: "EnergyModel | None" = None,
+    duty_cycle: float = 1.0,
+    max_relay_load: int = 0,
+) -> dict:
+    """Closed-form lifetime projection for a homogeneous workload.
+
+    ``duty_cycle`` is the fraction of sensor-rounds spent awake (1.0 = no
+    sleeping); ``max_relay_load`` is the bottleneck node's forwarded
+    reports per round (from the routing topology).
+    """
+    if not (0.0 < duty_cycle <= 1.0):
+        raise ValueError(f"duty cycle must be in (0, 1], got {duty_cycle}")
+    if max_relay_load < 0:
+        raise ValueError("relay load must be non-negative")
+    model = model or EnergyModel()
+    awake_cost = k * model.sample_j + model.idle_listen_j + model.report_tx_j
+    mean_cost = duty_cycle * awake_cost + (1.0 - duty_cycle) * model.sleep_j
+    bottleneck_cost = awake_cost + max_relay_load * model.relay_tx_j
+    return {
+        "mean_rounds": float(model.battery_j / mean_cost),
+        "bottleneck_rounds": float(model.battery_j / bottleneck_cost),
+        "duty_cycle_gain": float(awake_cost / mean_cost),
+    }

@@ -1,0 +1,93 @@
+"""Tracking-error metrics and tracker comparison tables.
+
+The paper's headline metrics: per-round geographic error, mean tracking
+error over a trace, and its standard deviation (Fig. 11-12).  Percentiles
+and RMSE are added because the extended-FTTT claim ("smoother trajectory")
+shows up most clearly in the tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.tracker import TrackResult
+
+__all__ = ["TrackingErrorSummary", "summarize_errors", "compare_trackers", "format_table"]
+
+
+@dataclass(frozen=True)
+class TrackingErrorSummary:
+    """Distribution summary of per-round tracking errors (metres)."""
+
+    n_rounds: int
+    mean: float
+    std: float
+    rmse: float
+    median: float
+    p90: float
+    max: float
+
+    def row(self) -> list[float]:
+        return [self.mean, self.std, self.rmse, self.median, self.p90, self.max]
+
+    @staticmethod
+    def header() -> list[str]:
+        return ["mean", "std", "rmse", "median", "p90", "max"]
+
+
+def summarize_errors(errors: "np.ndarray | TrackResult") -> TrackingErrorSummary:
+    """Summarize per-round errors (or pull them from a :class:`TrackResult`)."""
+    if isinstance(errors, TrackResult):
+        errors = errors.errors
+    errors = np.asarray(errors, dtype=float)
+    if errors.ndim != 1:
+        raise ValueError(f"errors must be 1-D, got shape {errors.shape}")
+    if len(errors) == 0:
+        raise ValueError("cannot summarize an empty error series")
+    return TrackingErrorSummary(
+        n_rounds=len(errors),
+        mean=float(errors.mean()),
+        std=float(errors.std()),
+        rmse=float(np.sqrt((errors**2).mean())),
+        median=float(np.median(errors)),
+        p90=float(np.percentile(errors, 90)),
+        max=float(errors.max()),
+    )
+
+
+def compare_trackers(results: Mapping[str, TrackResult]) -> dict[str, TrackingErrorSummary]:
+    """Summaries for several trackers run on the same trace."""
+    if not results:
+        raise ValueError("no tracker results to compare")
+    return {name: summarize_errors(res) for name, res in results.items()}
+
+
+def format_table(
+    rows: Mapping[str, "TrackingErrorSummary | list[float]"],
+    *,
+    header: "list[str] | None" = None,
+    title: str = "",
+    float_fmt: str = "{:8.3f}",
+) -> str:
+    """Plain-text table: one row per key — the benches' printable artifact."""
+    if header is None:
+        header = TrackingErrorSummary.header()
+    name_width = max([len(k) for k in rows] + [len("tracker"), 8])
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "tracker".ljust(name_width) + " | " + " ".join(h.rjust(8) for h in header)
+    )
+    lines.append("-" * (name_width + 3 + 9 * len(header)))
+    for name, summary in rows.items():
+        values = summary.row() if isinstance(summary, TrackingErrorSummary) else list(summary)
+        lines.append(
+            name.ljust(name_width)
+            + " | "
+            + " ".join(float_fmt.format(v) for v in values)
+        )
+    return "\n".join(lines)

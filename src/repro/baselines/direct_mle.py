@@ -1,0 +1,79 @@
+"""Direct MLE baseline (paper's "[24]" comparator).
+
+Sequence-based localization: the field is divided by perpendicular
+bisectors only (every comparison assumed reliable), each face carries the
+ideal detection sequence of its region, and each localization round is
+matched *independently* — no use of uncertainty, no temporal coupling.
+This is precisely the strategy §3.2 shows breaking down: near bisectors
+the observed sequence flips, and the matched face jumps around.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.baselines.sequences import sign_vector_from_rss
+from repro.core.matching import ExhaustiveMatcher
+from repro.core.tracker import TrackEstimate, TrackResult
+from repro.geometry.faces import FaceMap
+from repro.geometry.primitives import enumerate_pairs
+from repro.rf.channel import SampleBatch
+
+__all__ = ["DirectMLETracker"]
+
+
+class DirectMLETracker:
+    """Independent per-round sequence matching over the certain face map.
+
+    Parameters
+    ----------
+    face_map : a *certain* face map
+        (:func:`repro.geometry.faces.build_certain_face_map`).
+    reduce : how the grouping sampling collapses to one detection sequence;
+        ``"mean"`` (default) averages the group — the strongest fair
+        reading — while ``"last"`` replicates literal one-shot sensing.
+    """
+
+    def __init__(self, face_map: FaceMap, *, reduce: str = "mean") -> None:
+        if reduce not in ("mean", "last"):
+            raise ValueError(f"unknown reduce {reduce!r}")
+        self.face_map = face_map
+        self.reduce = reduce
+        self._pairs = enumerate_pairs(face_map.n_nodes)
+        self._matcher = ExhaustiveMatcher(face_map)
+
+    def build_vector(self, rss: np.ndarray) -> np.ndarray:
+        return sign_vector_from_rss(rss, self._pairs, reduce=self.reduce)
+
+    def localize(self, rss: np.ndarray, t: float = 0.0) -> TrackEstimate:
+        rss = np.atleast_2d(np.asarray(rss, dtype=float))
+        if rss.shape[1] != self.face_map.n_nodes:
+            raise ValueError(
+                f"rss has {rss.shape[1]} sensors but the face map expects "
+                f"{self.face_map.n_nodes}"
+            )
+        vector = self.build_vector(rss)
+        match = self._matcher.match(vector)
+        return TrackEstimate(
+            t=t,
+            position=match.position,
+            face_ids=match.face_ids,
+            sq_distance=match.sq_distance,
+            n_reporting=int((~np.isnan(rss).all(axis=0)).sum()),
+            visited_faces=match.visited,
+        )
+
+    def localize_batch(self, batch: SampleBatch, t: "float | None" = None) -> TrackEstimate:
+        t0 = float(batch.times[0]) if t is None else t
+        return self.localize(batch.rss, t=t0)
+
+    def track(self, batches: Iterable[SampleBatch]) -> TrackResult:
+        result = TrackResult()
+        for batch in batches:
+            result.append(self.localize_batch(batch), batch.mean_position)
+        return result
+
+    def reset(self) -> None:
+        """Stateless; present for tracker-interface parity."""

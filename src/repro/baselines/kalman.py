@@ -1,0 +1,136 @@
+"""Model-based tracking: constant-velocity Kalman filter.
+
+The paper's related work contrasts FTTT with model-based trackers that
+"successively estimate the localization, velocity and trace of the target
+with target movement modeling ... e.g. Kalman filter" and criticizes them
+as "complex and inflexible, requiring detailed assumptions of target
+mobility".  This is that tracker: a linear Kalman filter with a
+constant-velocity process model, fed by position pseudo-measurements from
+any per-round localizer (range MLE by default).  It inherits exactly the
+weakness the paper points at — a mobility prior that random-waypoint
+turns keep violating.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.tracker import TrackEstimate, TrackResult
+from repro.rf.channel import SampleBatch
+
+__all__ = ["KalmanTracker"]
+
+
+class KalmanTracker:
+    """Constant-velocity Kalman filter over per-round position fixes.
+
+    State ``[x, y, vx, vy]``; measurements are the 2-D position estimates
+    of an inner per-round localizer.
+
+    Parameters
+    ----------
+    measurement_tracker : any tracker with ``localize_batch`` — produces
+        the position fixes the filter smooths (e.g. ``RangeMLETracker``).
+    process_sigma : accel-noise scale (m/s^2); larger trusts measurements
+        more during manoeuvres.
+    measurement_sigma : assumed std of the position fixes (metres).
+    field_size : state clipped into the field after each update.
+    """
+
+    def __init__(
+        self,
+        measurement_tracker,
+        *,
+        process_sigma: float = 1.0,
+        measurement_sigma: float = 5.0,
+        field_size: float = 100.0,
+    ) -> None:
+        if process_sigma <= 0 or measurement_sigma <= 0:
+            raise ValueError("noise scales must be positive")
+        self.inner = measurement_tracker
+        self.process_sigma = process_sigma
+        self.measurement_sigma = measurement_sigma
+        self.field_size = field_size
+        self._state: np.ndarray | None = None
+        self._cov: np.ndarray | None = None
+        self._last_t: float | None = None
+
+    # -- filter mechanics --------------------------------------------------
+
+    def _predict(self, dt: float) -> None:
+        f = np.eye(4)
+        f[0, 2] = f[1, 3] = dt
+        q_scale = self.process_sigma**2
+        # white-acceleration discretization
+        q = np.array(
+            [
+                [dt**4 / 4, 0, dt**3 / 2, 0],
+                [0, dt**4 / 4, 0, dt**3 / 2],
+                [dt**3 / 2, 0, dt**2, 0],
+                [0, dt**3 / 2, 0, dt**2],
+            ]
+        ) * q_scale
+        self._state = f @ self._state
+        self._cov = f @ self._cov @ f.T + q
+
+    def _update(self, z: np.ndarray) -> None:
+        h = np.zeros((2, 4))
+        h[0, 0] = h[1, 1] = 1.0
+        r = np.eye(2) * self.measurement_sigma**2
+        innov = z - h @ self._state
+        s = h @ self._cov @ h.T + r
+        k = self._cov @ h.T @ np.linalg.solve(s, np.eye(2))
+        self._state = self._state + k @ innov
+        self._cov = (np.eye(4) - k @ h) @ self._cov
+
+    # -- tracker interface ----------------------------------------------------
+
+    def localize_batch(self, batch: SampleBatch, t: "float | None" = None) -> TrackEstimate:
+        t0 = float(batch.times[0]) if t is None else t
+        fix = self.inner.localize_batch(batch)
+        z = np.asarray(fix.position, dtype=float)
+        if self._state is None:
+            self._state = np.array([z[0], z[1], 0.0, 0.0])
+            self._cov = np.diag([self.measurement_sigma**2] * 2 + [4.0, 4.0])
+        else:
+            dt = max(t0 - (self._last_t if self._last_t is not None else t0), 1e-3)
+            self._predict(dt)
+            self._update(z)
+        self._last_t = t0
+        pos = np.clip(self._state[:2], 0.0, self.field_size)
+        return TrackEstimate(
+            t=t0,
+            position=pos.copy(),
+            face_ids=np.array([-1]),
+            sq_distance=float("nan"),
+            n_reporting=fix.n_reporting,
+            visited_faces=fix.visited_faces,
+        )
+
+    def localize(self, rss: np.ndarray, t: float = 0.0) -> TrackEstimate:
+        batch = SampleBatch(
+            rss=np.atleast_2d(np.asarray(rss, dtype=float)),
+            times=np.array([t]) if np.atleast_2d(rss).shape[0] == 1 else t + 0.1 * np.arange(np.atleast_2d(rss).shape[0]),
+            positions=np.zeros((np.atleast_2d(rss).shape[0], 2)),
+        )
+        return self.localize_batch(batch, t=t)
+
+    def track(self, batches: Iterable[SampleBatch]) -> TrackResult:
+        self.reset()
+        result = TrackResult()
+        for batch in batches:
+            result.append(self.localize_batch(batch), batch.mean_position)
+        return result
+
+    def reset(self) -> None:
+        self._state = None
+        self._cov = None
+        self._last_t = None
+        self.inner.reset()
+
+    @property
+    def velocity(self) -> "np.ndarray | None":
+        """Current velocity estimate (m/s), None before the first update."""
+        return None if self._state is None else self._state[2:].copy()

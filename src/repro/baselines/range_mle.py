@@ -1,0 +1,108 @@
+"""Range-based least-squares MLE baseline.
+
+Not one of the paper's two comparators, but the classic range-based
+approach its related-work section dismisses ("additional hardware ...
+careful environment profiling"): invert the path-loss model to get a
+distance estimate per sensor, then solve a nonlinear least-squares
+position fit.  Included to quantify how badly log-normal ranging noise
+hurts when the model is inverted directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.core.tracker import TrackEstimate, TrackResult
+from repro.rf.channel import SampleBatch
+from repro.rf.pathloss import LogDistancePathLoss
+
+__all__ = ["RangeMLETracker"]
+
+
+class RangeMLETracker:
+    """Weighted nonlinear least squares on inverted-path-loss ranges.
+
+    Parameters
+    ----------
+    nodes : (n, 2) sensor positions.
+    pathloss : the propagation model to invert (assumed perfectly known —
+        an *optimistic* assumption real deployments cannot make).
+    field_size : estimates are clipped into the field.
+    min_sensors : rounds with fewer reporting sensors fall back to the
+        weighted sensor centroid.
+    """
+
+    def __init__(
+        self,
+        nodes: np.ndarray,
+        pathloss: LogDistancePathLoss,
+        *,
+        field_size: float = 100.0,
+        min_sensors: int = 3,
+    ) -> None:
+        self.nodes = np.atleast_2d(np.asarray(nodes, dtype=float))
+        self.pathloss = pathloss
+        self.field_size = field_size
+        if min_sensors < 1:
+            raise ValueError(f"min_sensors must be >= 1, got {min_sensors}")
+        self.min_sensors = min_sensors
+
+    def _estimate(self, mean_rss: np.ndarray) -> np.ndarray:
+        ok = ~np.isnan(mean_rss)
+        nodes = self.nodes[ok]
+        if ok.sum() == 0:
+            return np.full(2, self.field_size / 2.0)
+        ranges = self.pathloss.distance_from_rss(mean_rss[ok])
+        weights = 1.0 / np.maximum(ranges, 1.0)  # nearer sensors are more informative
+        x0 = (nodes * weights[:, None]).sum(axis=0) / weights.sum()
+        if ok.sum() < self.min_sensors:
+            return np.clip(x0, 0.0, self.field_size)
+
+        def residuals(p: np.ndarray) -> np.ndarray:
+            d = np.hypot(nodes[:, 0] - p[0], nodes[:, 1] - p[1])
+            return weights * (d - ranges)
+
+        sol = least_squares(
+            residuals,
+            x0,
+            bounds=([0.0, 0.0], [self.field_size, self.field_size]),
+            xtol=1e-8,
+            max_nfev=200,
+        )
+        return sol.x
+
+    def localize(self, rss: np.ndarray, t: float = 0.0) -> TrackEstimate:
+        rss = np.atleast_2d(np.asarray(rss, dtype=float))
+        if rss.shape[1] != len(self.nodes):
+            raise ValueError(
+                f"rss has {rss.shape[1]} sensors but the tracker knows {len(self.nodes)}"
+            )
+        all_nan = np.isnan(rss).all(axis=0)
+        counts = np.maximum((~np.isnan(rss)).sum(axis=0), 1)
+        sums = np.where(np.isnan(rss), 0.0, rss).sum(axis=0)
+        mean_rss = np.where(all_nan, np.nan, sums / counts)
+        position = self._estimate(mean_rss)
+        return TrackEstimate(
+            t=t,
+            position=position,
+            face_ids=np.array([-1]),  # no face semantics for a range method
+            sq_distance=float("nan"),
+            n_reporting=int((~np.isnan(rss).all(axis=0)).sum()),
+            visited_faces=0,
+        )
+
+    def localize_batch(self, batch: SampleBatch, t: "float | None" = None) -> TrackEstimate:
+        t0 = float(batch.times[0]) if t is None else t
+        return self.localize(batch.rss, t=t0)
+
+    def track(self, batches: Iterable[SampleBatch]) -> TrackResult:
+        result = TrackResult()
+        for batch in batches:
+            result.append(self.localize_batch(batch), batch.mean_position)
+        return result
+
+    def reset(self) -> None:
+        """Stateless; interface parity."""

@@ -1,0 +1,119 @@
+"""Central configuration objects.
+
+:class:`PaperDefaults` encodes Table 1 of the paper verbatim so that every
+experiment harness starts from the published parameter set, and
+:class:`SimulationConfig` is the validated, mutable bundle the simulation
+layer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict, replace
+from typing import Any
+
+__all__ = ["PaperDefaults", "SimulationConfig", "GridConfig"]
+
+
+@dataclass(frozen=True)
+class PaperDefaults:
+    """Table 1 — System Parameters and Settings (verbatim from the paper)."""
+
+    field_size_m: float = 100.0          # 100 x 100 m^2 monitor area
+    path_loss_exponent: float = 4.0      # beta = 4
+    noise_sigma_dbm: float = 6.0         # sigma_X = 6
+    n_sensors_min: int = 5               # n in 5..40
+    n_sensors_max: int = 40
+    sensing_range_m: float = 40.0        # R = 40 m
+    resolution_min_dbm: float = 0.5      # epsilon in 0.5..3 dBm
+    resolution_max_dbm: float = 3.0
+    sampling_rate_hz: float = 10.0       # lambda = 10 Hz
+    target_speed_min_mps: float = 1.0    # 1..5 m/s
+    target_speed_max_mps: float = 5.0
+    sampling_times_min: int = 3          # k in 3..9
+    sampling_times_max: int = 9
+    sim_duration_s: float = 60.0         # "each tracking simulation lasts 60s"
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+PAPER = PaperDefaults()
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """Approximate grid division settings (paper §4.3-2, ref [29])."""
+
+    cell_size_m: float = 1.0
+    split_components: bool = False  # split equal-signature faces into connected parts
+
+    def __post_init__(self) -> None:
+        if self.cell_size_m <= 0:
+            raise ValueError(f"cell_size_m must be positive, got {self.cell_size_m}")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Validated parameter bundle for one tracking simulation.
+
+    Defaults reproduce the paper's baseline operating point
+    (k = 5, epsilon = 1 dBm, n = 10) used in Figs. 10-12.
+    """
+
+    field_size_m: float = PAPER.field_size_m
+    n_sensors: int = 10
+    sensing_range_m: float = PAPER.sensing_range_m
+    path_loss_exponent: float = PAPER.path_loss_exponent
+    noise_sigma_dbm: float = PAPER.noise_sigma_dbm
+    resolution_dbm: float = 1.0
+    sampling_times: int = 5
+    sampling_rate_hz: float = PAPER.sampling_rate_hz
+    target_speed_min_mps: float = PAPER.target_speed_min_mps
+    target_speed_max_mps: float = PAPER.target_speed_max_mps
+    duration_s: float = PAPER.sim_duration_s
+    tx_power_dbm: float = -40.0  # PL(d0)+A at the 1 m reference distance
+    grid: GridConfig = field(default_factory=GridConfig)
+
+    def __post_init__(self) -> None:
+        if self.field_size_m <= 0:
+            raise ValueError(f"field_size_m must be positive, got {self.field_size_m}")
+        if self.n_sensors < 2:
+            raise ValueError(f"need at least 2 sensors for pairwise tracking, got {self.n_sensors}")
+        if self.sensing_range_m <= 0:
+            raise ValueError(f"sensing_range_m must be positive, got {self.sensing_range_m}")
+        if self.path_loss_exponent <= 0:
+            raise ValueError(f"path_loss_exponent must be positive, got {self.path_loss_exponent}")
+        if self.noise_sigma_dbm < 0:
+            raise ValueError(f"noise_sigma_dbm must be non-negative, got {self.noise_sigma_dbm}")
+        if self.resolution_dbm < 0:
+            raise ValueError(f"resolution_dbm must be non-negative, got {self.resolution_dbm}")
+        if self.sampling_times < 1:
+            raise ValueError(f"sampling_times must be >= 1, got {self.sampling_times}")
+        if self.sampling_rate_hz <= 0:
+            raise ValueError(f"sampling_rate_hz must be positive, got {self.sampling_rate_hz}")
+        if not (0 < self.target_speed_min_mps <= self.target_speed_max_mps):
+            raise ValueError(
+                "target speed range invalid: "
+                f"[{self.target_speed_min_mps}, {self.target_speed_max_mps}]"
+            )
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+
+    @property
+    def localization_period_s(self) -> float:
+        """Wall-clock time consumed by one grouping sampling (k samples at rate lambda)."""
+        return self.sampling_times / self.sampling_rate_hz
+
+    @property
+    def n_localizations(self) -> int:
+        """Number of grouping samplings that fit in the simulation."""
+        return max(1, int(self.duration_s / self.localization_period_s))
+
+    def with_(self, **kwargs: Any) -> "SimulationConfig":
+        """Return a copy with the given fields replaced (re-validated)."""
+        return replace(self, **kwargs)
+
+    def as_dict(self) -> dict[str, Any]:
+        d = asdict(self)
+        d["grid"] = asdict(self.grid)
+        return d

@@ -1,0 +1,140 @@
+"""Face-map and matching diagnostics.
+
+Deployment-time introspection: which node pairs actually carry location
+information, how distinguishable the faces are, and how much ambiguity a
+sampling vector can face — the questions an operator asks before trusting
+a deployment, and the quantities behind the paper's O(n^4)-faces and
+tie-breaking discussions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.faces import FaceMap
+
+__all__ = [
+    "pair_informativeness",
+    "least_informative_pairs",
+    "face_separability",
+    "AmbiguityCensus",
+    "ambiguity_census",
+]
+
+
+def pair_informativeness(face_map: FaceMap) -> np.ndarray:
+    """Per-pair entropy (bits) of the signature value over the field area.
+
+    A pair whose value is the same almost everywhere contributes almost
+    nothing to localization; a pair splitting the area into balanced
+    thirds carries up to log2(3) ≈ 1.58 bits.
+    """
+    weights = face_map.cell_counts.astype(float)
+    total = weights.sum()
+    out = np.empty(face_map.n_pairs)
+    sigs = face_map.signatures
+    for p in range(face_map.n_pairs):
+        h = 0.0
+        for v in (-1, 0, 1):
+            mass = weights[sigs[:, p] == v].sum() / total
+            if mass > 0:
+                h -= mass * np.log2(mass)
+        out[p] = h
+    return out
+
+
+def least_informative_pairs(face_map: FaceMap, k: int = 5) -> np.ndarray:
+    """Indices of the *k* pairs contributing the least location information.
+
+    Candidates for pruning when uplink budget is tight (their values can
+    be dropped from reports with minimal accuracy cost).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    info = pair_informativeness(face_map)
+    k = min(k, face_map.n_pairs)
+    return np.argsort(info)[:k]
+
+
+def face_separability(face_map: FaceMap) -> dict:
+    """How far apart face signatures are — the matching safety margin.
+
+    Returns min / median / mean pairwise squared signature distance across
+    a sample of face pairs.  A minimum of 1 means two faces differ in a
+    single component step: one flipped pair can confuse them (Theorem 1
+    says neighbors always do; what matters is how common 1-distance pairs
+    are among *non*-neighbors).
+    """
+    sigs = face_map.signatures.astype(np.float32)
+    f = len(sigs)
+    if f < 2:
+        raise ValueError("need at least two faces")
+    # subsample for large maps: all pairs up to ~500 faces, else random
+    if f <= 500:
+        idx_a, idx_b = np.triu_indices(f, k=1)
+    else:
+        rng = np.random.default_rng(0)
+        idx_a = rng.integers(0, f, size=120_000)
+        idx_b = rng.integers(0, f, size=120_000)
+        keep = idx_a != idx_b
+        idx_a, idx_b = idx_a[keep], idx_b[keep]
+    diff = sigs[idx_a] - sigs[idx_b]
+    d2 = np.einsum("ij,ij->i", diff, diff)
+    return {
+        "min_sq_distance": float(d2.min()),
+        "median_sq_distance": float(np.median(d2)),
+        "mean_sq_distance": float(d2.mean()),
+        "unit_distance_fraction": float((d2 <= 1.0).mean()),
+    }
+
+
+@dataclass(frozen=True)
+class AmbiguityCensus:
+    """How often maximum-likelihood matching ties, measured by sampling."""
+
+    n_trials: int
+    tie_fraction: float  # trials with more than one best face
+    mean_tie_size: float  # average number of tied faces when tied
+    max_tie_size: int
+
+
+def ambiguity_census(
+    face_map: FaceMap,
+    n_trials: int = 500,
+    *,
+    corruption: int = 2,
+    rng: "np.random.Generator | int | None" = 0,
+) -> AmbiguityCensus:
+    """Sample corrupted signatures and measure matching ambiguity.
+
+    Each trial takes a real face signature, corrupts *corruption*
+    components by one level, and matches it back — the §6 motivation
+    ("sometimes more than one face has the maximum likelihood") made
+    measurable for a concrete deployment.
+    """
+    from repro.rng import ensure_rng
+
+    if n_trials < 1:
+        raise ValueError("need at least one trial")
+    if corruption < 0:
+        raise ValueError("corruption must be non-negative")
+    gen = ensure_rng(rng)
+    ties = []
+    for _ in range(n_trials):
+        fid = int(gen.integers(0, face_map.n_faces))
+        v = face_map.signatures[fid].astype(float)
+        for idx in gen.integers(0, face_map.n_pairs, size=corruption):
+            step = gen.choice([-1.0, 1.0])
+            v[idx] = float(np.clip(v[idx] + step, -1.0, 1.0))
+        tied, _ = face_map.match(v)
+        ties.append(len(tied))
+    ties = np.asarray(ties)
+    tied_mask = ties > 1
+    return AmbiguityCensus(
+        n_trials=n_trials,
+        tie_fraction=float(tied_mask.mean()),
+        mean_tie_size=float(ties[tied_mask].mean()) if tied_mask.any() else 1.0,
+        max_tie_size=int(ties.max()),
+    )

@@ -1,0 +1,70 @@
+"""Exhaustive maximum-likelihood matching (paper §4.4-1).
+
+Scans every face signature and returns all faces tying at the maximum
+similarity.  O(F · P) per localization with F = O(n^4) faces — correct but
+slow; Algorithm 2's heuristic matcher exists to avoid this scan, and the
+complexity benchmark measures the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.faces import FaceMap
+
+__all__ = ["MatchResult", "ExhaustiveMatcher"]
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of matching one sampling vector against the face map."""
+
+    face_ids: np.ndarray  # all faces at the maximum similarity
+    sq_distance: float  # squared vector distance at the optimum
+    position: np.ndarray  # mean centroid of the tied faces
+    visited: int  # how many face signatures were examined
+
+    @property
+    def face_id(self) -> int:
+        """Lowest-id best face (deterministic tie representative)."""
+        return int(self.face_ids[0])
+
+    @property
+    def similarity(self) -> float:
+        if self.sq_distance == 0.0:
+            return float("inf")
+        return 1.0 / float(np.sqrt(self.sq_distance))
+
+    @property
+    def is_ambiguous(self) -> bool:
+        """True when more than one face ties at the maximum similarity."""
+        return len(self.face_ids) > 1
+
+
+class ExhaustiveMatcher:
+    """Stateless full-scan matcher over a face map.
+
+    ``soft=True`` matches against the attached quantitative signatures
+    (extended FTTT, §6) instead of the qualitative {-1, 0, +1} ones.
+    """
+
+    def __init__(self, face_map: FaceMap, *, soft: bool = False) -> None:
+        self.face_map = face_map
+        self.soft = soft
+
+    def match(self, vector: np.ndarray, start_face: "int | None" = None) -> MatchResult:
+        """Match *vector* against every face (``start_face`` is ignored;
+        accepted so exhaustive and heuristic matchers are interchangeable)."""
+        face_ids, d2 = self.face_map.match(vector, soft=self.soft)
+        position = self.face_map.centroids[face_ids].mean(axis=0)
+        return MatchResult(
+            face_ids=face_ids,
+            sq_distance=d2,
+            position=position,
+            visited=self.face_map.n_faces,
+        )
+
+    def reset(self) -> None:
+        """No state to clear; present for interface parity."""

@@ -1,0 +1,206 @@
+"""FTTT tracker facade.
+
+Binds together the face map, the sampling-vector construction, and a
+matcher into the strategy of Fig. 4: per localization round, build the
+(basic or extended) sampling vector from the grouping sampling and match
+it into a face; the face centroid (mean of tied faces) is the estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal
+
+import numpy as np
+
+from repro.core.heuristic import HeuristicMatcher
+from repro.core.matching import ExhaustiveMatcher, MatchResult
+from repro.core.vectors import extended_sampling_vector, sampling_vector
+from repro.geometry.faces import FaceMap
+from repro.geometry.primitives import enumerate_pairs
+from repro.rf.channel import SampleBatch
+
+__all__ = ["FTTTracker", "TrackEstimate", "TrackResult"]
+
+Mode = Literal["basic", "extended"]
+MatcherKind = Literal["heuristic", "exhaustive"]
+
+
+@dataclass(frozen=True)
+class TrackEstimate:
+    """One localization outcome."""
+
+    t: float
+    position: np.ndarray  # estimated (x, y)
+    face_ids: np.ndarray  # best-matching face(s)
+    sq_distance: float  # vector distance at the match
+    n_reporting: int  # sensors that delivered data this round
+    visited_faces: int  # matcher work (for complexity accounting)
+
+    @property
+    def similarity(self) -> float:
+        if self.sq_distance == 0.0:
+            return float("inf")
+        return 1.0 / float(np.sqrt(self.sq_distance))
+
+
+@dataclass
+class TrackResult:
+    """A full tracking run: estimates plus aligned ground truth."""
+
+    estimates: list[TrackEstimate] = field(default_factory=list)
+    true_positions: list[np.ndarray] = field(default_factory=list)
+
+    def append(self, estimate: TrackEstimate, true_position: np.ndarray) -> None:
+        self.estimates.append(estimate)
+        self.true_positions.append(np.asarray(true_position, dtype=float).reshape(2))
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.array([e.t for e in self.estimates])
+
+    @property
+    def positions(self) -> np.ndarray:
+        if not self.estimates:
+            return np.empty((0, 2))
+        return np.stack([e.position for e in self.estimates])
+
+    @property
+    def truth(self) -> np.ndarray:
+        if not self.true_positions:
+            return np.empty((0, 2))
+        return np.stack(self.true_positions)
+
+    @property
+    def errors(self) -> np.ndarray:
+        """Per-round geographic tracking error in metres."""
+        est, tru = self.positions, self.truth
+        return np.hypot(est[:, 0] - tru[:, 0], est[:, 1] - tru[:, 1])
+
+    @property
+    def mean_error(self) -> float:
+        e = self.errors
+        return float(e.mean()) if len(e) else float("nan")
+
+    @property
+    def std_error(self) -> float:
+        e = self.errors
+        return float(e.std()) if len(e) else float("nan")
+
+    @property
+    def max_error(self) -> float:
+        e = self.errors
+        return float(e.max()) if len(e) else float("nan")
+
+    def __len__(self) -> int:
+        return len(self.estimates)
+
+
+class FTTTracker:
+    """The Fault-Tolerant Target-Tracking strategy.
+
+    Parameters
+    ----------
+    face_map : divided monitor area with signature vectors.
+    mode : ``"basic"`` uses Definition 4 pair values; ``"extended"`` uses
+        the quantitative values of Definition 10 (§6), which break
+        similarity ties and smooth the trajectory.
+    matcher : ``"heuristic"`` = Algorithm 2 neighbor-link hill climbing
+        (the paper's tracking algorithm); ``"exhaustive"`` = full scan.
+    comparator_eps : RSS comparator deadband in dB (ties count as flips).
+    """
+
+    def __init__(
+        self,
+        face_map: FaceMap,
+        *,
+        mode: Mode = "basic",
+        matcher: MatcherKind = "heuristic",
+        comparator_eps: float = 0.0,
+        heuristic_fallback: bool = True,
+        soft_signatures: "bool | None" = None,
+    ) -> None:
+        if mode not in ("basic", "extended"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if matcher not in ("heuristic", "exhaustive"):
+            raise ValueError(f"unknown matcher {matcher!r}")
+        self.face_map = face_map
+        self.mode: Mode = mode
+        self.comparator_eps = comparator_eps
+        self._pairs = enumerate_pairs(face_map.n_nodes)
+        # extended mode matches against the quantitative (soft) signatures
+        # of §6 whenever they are attached to the face map
+        if soft_signatures is None:
+            soft_signatures = mode == "extended" and face_map.soft_signatures is not None
+        if soft_signatures and face_map.soft_signatures is None:
+            raise ValueError(
+                "soft_signatures requested but none attached; call "
+                "repro.core.extended.attach_soft_signatures(face_map, ...)"
+            )
+        self.soft_signatures = bool(soft_signatures)
+        if matcher == "heuristic":
+            # soft matching carries a per-pair fractional background distance,
+            # so the fallback quality gate is proportionally looser
+            gate = 8.0 if self.soft_signatures else 4.0
+            self.matcher: "HeuristicMatcher | ExhaustiveMatcher" = HeuristicMatcher(
+                face_map,
+                soft=self.soft_signatures,
+                fallback=heuristic_fallback,
+                fallback_sq_distance=gate,
+            )
+        else:
+            self.matcher = ExhaustiveMatcher(face_map, soft=self.soft_signatures)
+
+    # -- vector construction ------------------------------------------------
+
+    def build_vector(self, rss: np.ndarray) -> np.ndarray:
+        """Sampling vector for one grouping-sampling matrix."""
+        if self.mode == "extended":
+            return extended_sampling_vector(rss, self._pairs, comparator_eps=self.comparator_eps)
+        return sampling_vector(rss, self._pairs, comparator_eps=self.comparator_eps)
+
+    # -- localization ---------------------------------------------------------
+
+    def localize(self, rss: np.ndarray, t: float = 0.0) -> TrackEstimate:
+        """Localize from a raw ``(k, n)`` RSS matrix (NaN = missing)."""
+        rss = np.atleast_2d(np.asarray(rss, dtype=float))
+        if rss.shape[1] != self.face_map.n_nodes:
+            raise ValueError(
+                f"rss has {rss.shape[1]} sensors but the face map was built "
+                f"for {self.face_map.n_nodes}"
+            )
+        vector = self.build_vector(rss)
+        match: MatchResult = self.matcher.match(vector)
+        n_reporting = int((~np.isnan(rss).all(axis=0)).sum())
+        return TrackEstimate(
+            t=t,
+            position=match.position,
+            face_ids=match.face_ids,
+            sq_distance=match.sq_distance,
+            n_reporting=n_reporting,
+            visited_faces=match.visited,
+        )
+
+    def localize_batch(self, batch: SampleBatch, t: "float | None" = None) -> TrackEstimate:
+        """Localize from a :class:`~repro.rf.channel.SampleBatch`."""
+        t0 = float(batch.times[0]) if t is None else t
+        return self.localize(batch.rss, t=t0)
+
+    # -- tracking -------------------------------------------------------------
+
+    def track(self, batches: Iterable[SampleBatch]) -> TrackResult:
+        """Track through a sequence of grouping samplings.
+
+        The matcher state persists across rounds, so the heuristic matcher
+        starts each search from the previous face (Algorithm 2's
+        consecutive-tracking speedup).
+        """
+        result = TrackResult()
+        for batch in batches:
+            est = self.localize_batch(batch)
+            result.append(est, batch.mean_position)
+        return result
+
+    def reset(self) -> None:
+        """Clear matcher state (start a fresh trace)."""
+        self.matcher.reset()

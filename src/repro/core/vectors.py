@@ -1,0 +1,181 @@
+"""Sampling-vector construction (Algorithm 1, Definitions 3-5, 10; Eq. 6).
+
+A grouping sampling is a ``(k, n)`` RSS matrix — k near-synchronous sample
+instants by n sensors, NaN where a sensor did not report.  For every node
+pair ``(i, j), i < j`` in the canonical enumeration, the pair value is
+
+* **basic** (Definition 4): +1 if node i's RSS beats node j's at *every*
+  instant, -1 if it loses at every instant, 0 if the ordering flipped
+  within the group;
+* **extended** (Definition 10): ``(N_ij - N_ji) / k`` in ``[-1, 1]`` — the
+  signed fraction of instants won;
+* **fault-tolerant fill** (Eq. 6): a reporting sensor is assumed stronger
+  than a silent one (+1 / -1), and two silent sensors give the ``*`` value,
+  represented as NaN and masked out of every vector difference (Eq. 7).
+
+The vectorized implementations here are the production path; the
+loop-based :func:`sampling_vector_reference` transcribes the paper's
+Algorithm 1 literally and exists to pin the vectorized code to it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.primitives import enumerate_pairs
+
+__all__ = [
+    "STAR",
+    "sampling_vector",
+    "extended_sampling_vector",
+    "sampling_vector_reference",
+    "pair_win_counts",
+]
+
+STAR = np.nan
+"""The ``*`` pair value of Eq. 6 — stored as NaN, masked by Eq. 7."""
+
+
+def _prepare(rss: np.ndarray, pairs: "tuple[np.ndarray, np.ndarray] | None"):
+    rss = np.atleast_2d(np.asarray(rss, dtype=float))
+    if rss.ndim != 2:
+        raise ValueError(f"rss must be a (k, n) matrix, got shape {rss.shape}")
+    n = rss.shape[1]
+    if n < 2:
+        raise ValueError(f"need at least two sensors, got {n}")
+    if pairs is None:
+        pairs = enumerate_pairs(n)
+    return rss, pairs
+
+
+def pair_win_counts(
+    rss: np.ndarray,
+    pairs: "tuple[np.ndarray, np.ndarray] | None" = None,
+    *,
+    comparator_eps: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-pair counts over the common valid instants.
+
+    Returns ``(wins_i, wins_j, valid)`` with shapes ``(P,)`` — instants where
+    i's RSS exceeds j's by more than *comparator_eps*, where j exceeds i,
+    and how many instants both sensors reported.  Instants where the two
+    RSS are within *comparator_eps* count toward neither side (tie).
+    """
+    if comparator_eps < 0:
+        raise ValueError(f"comparator_eps must be non-negative, got {comparator_eps}")
+    rss, (i_idx, j_idx) = _prepare(rss, pairs)
+    diff = rss[:, i_idx] - rss[:, j_idx]  # (k, P); NaN if either missing
+    valid = ~np.isnan(diff)
+    wins_i = np.count_nonzero(valid & (diff > comparator_eps), axis=0)
+    wins_j = np.count_nonzero(valid & (diff < -comparator_eps), axis=0)
+    return wins_i, wins_j, np.count_nonzero(valid, axis=0)
+
+
+def _fault_fill(
+    values: np.ndarray,
+    rss: np.ndarray,
+    i_idx: np.ndarray,
+    j_idx: np.ndarray,
+    n_valid: np.ndarray,
+) -> np.ndarray:
+    """Apply the Eq. 6 fill to pairs with no common valid instants."""
+    reported = ~np.isnan(rss).all(axis=0)  # sensor delivered >= 1 sample
+    no_common = n_valid == 0
+    if not no_common.any():
+        return values
+    ri = reported[i_idx]
+    rj = reported[j_idx]
+    values = values.copy()
+    values[no_common & ri & ~rj] = 1.0
+    values[no_common & ~ri & rj] = -1.0
+    values[no_common & ~ri & ~rj] = STAR
+    # both reported but never simultaneously: fall back to mean comparison
+    both = no_common & ri & rj
+    if both.any():
+        counts = np.maximum((~np.isnan(rss)).sum(axis=0), 1)
+        sums = np.where(np.isnan(rss), 0.0, rss).sum(axis=0)
+        means = sums / counts
+        values[both] = np.sign(means[i_idx[both]] - means[j_idx[both]])
+    return values
+
+
+def sampling_vector(
+    rss: np.ndarray,
+    pairs: "tuple[np.ndarray, np.ndarray] | None" = None,
+    *,
+    comparator_eps: float = 0.0,
+) -> np.ndarray:
+    """Basic sampling vector (Algorithm 1 + the Eq. 6 fault fill).
+
+    Parameters
+    ----------
+    rss : (k, n) grouping-sampling matrix, NaN for missing samples.
+    pairs : optional pre-computed canonical pair enumeration.
+    comparator_eps : hardware comparator deadband in dB; RSS pairs within
+        it are ties and force the pair value to 0 (flipped).
+
+    Returns
+    -------
+    (P,) float vector with values in {-1, 0, +1} and NaN for ``*`` pairs.
+    """
+    rss, (i_idx, j_idx) = _prepare(rss, pairs)
+    wins_i, wins_j, n_valid = pair_win_counts(rss, (i_idx, j_idx), comparator_eps=comparator_eps)
+    values = np.zeros(len(i_idx), dtype=float)
+    with np.errstate(invalid="ignore"):
+        ordinal_i = (wins_i == n_valid) & (n_valid > 0)
+        ordinal_j = (wins_j == n_valid) & (n_valid > 0)
+    values[ordinal_i] = 1.0
+    values[ordinal_j] = -1.0
+    return _fault_fill(values, rss, i_idx, j_idx, n_valid)
+
+
+def extended_sampling_vector(
+    rss: np.ndarray,
+    pairs: "tuple[np.ndarray, np.ndarray] | None" = None,
+    *,
+    comparator_eps: float = 0.0,
+) -> np.ndarray:
+    """Extended (quantitative) sampling vector of Definition 10.
+
+    Each component is ``P(i beats j) - P(j beats i)`` estimated over the
+    common valid instants — in ``[-1, 1]``, equal to the basic value at the
+    extremes.  Pairs with no common instants get the Eq. 6 fill.
+    """
+    rss, (i_idx, j_idx) = _prepare(rss, pairs)
+    wins_i, wins_j, n_valid = pair_win_counts(rss, (i_idx, j_idx), comparator_eps=comparator_eps)
+    denom = np.where(n_valid > 0, n_valid, 1)
+    values = (wins_i - wins_j) / denom
+    return _fault_fill(values, rss, i_idx, j_idx, n_valid)
+
+
+def sampling_vector_reference(rss: np.ndarray) -> np.ndarray:
+    """Literal transcription of the paper's Algorithm 1 (loops and all).
+
+    Only supports fully-reporting groups (no NaN) — Algorithm 1 predates
+    the fault-tolerance extension.  Used by tests to pin
+    :func:`sampling_vector` and by the complexity benchmark.
+    """
+    rss = np.atleast_2d(np.asarray(rss, dtype=float))
+    if np.isnan(rss).any():
+        raise ValueError("Algorithm 1 reference handles complete groups only (no NaN)")
+    k, n = rss.shape
+    values: list[float] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            v: float | None = None
+            for w in range(k):
+                if rss[w, i] > rss[w, j]:
+                    if v == -1:
+                        v = 0.0
+                        break
+                    v = 1.0
+                elif rss[w, i] < rss[w, j]:
+                    if v == 1:
+                        v = 0.0
+                        break
+                    v = -1.0
+                else:  # exact tie: counts as a flip
+                    v = 0.0
+                    break
+            values.append(0.0 if v is None else v)
+    return np.asarray(values, dtype=float)

@@ -1,0 +1,73 @@
+"""Perpendicular-bisector classification (certain-sequence world).
+
+The baselines the paper compares against ([22], [24]) divide the field by
+the perpendicular bisectors of node pairs and assume every RSS comparison
+is reliable.  This module provides that classification — it is exactly the
+``C -> 1`` limit of the Apollonius machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.primitives import enumerate_pairs, pairwise_distances
+
+__all__ = ["bisector_side", "certain_signatures", "rank_sequence_of_points"]
+
+
+def bisector_side(points: np.ndarray, p_i: np.ndarray, p_j: np.ndarray) -> np.ndarray:
+    """Which side of the (i, j) bisector each point falls on.
+
+    Returns +1 where the point is strictly nearer ``p_i``, -1 where strictly
+    nearer ``p_j``, and 0 exactly on the bisector.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    d_i = np.hypot(points[:, 0] - p_i[0], points[:, 1] - p_i[1])
+    d_j = np.hypot(points[:, 0] - p_j[0], points[:, 1] - p_j[1])
+    return np.sign(d_j - d_i).astype(np.int8)
+
+
+def certain_signatures(
+    points: np.ndarray,
+    nodes: np.ndarray,
+    pairs: tuple[np.ndarray, np.ndarray] | None = None,
+    *,
+    chunk_pairs: int = 256,
+) -> np.ndarray:
+    """Signature matrix under the *certain* (no-uncertainty) assumption.
+
+    Identical layout to
+    :func:`repro.geometry.apollonius.classify_points_pairwise` but with the
+    uncertain band collapsed to the bisector line itself: values are ±1
+    almost everywhere (0 only exactly on a bisector).
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    nodes = np.atleast_2d(np.asarray(nodes, dtype=float))
+    if pairs is None:
+        pairs = enumerate_pairs(len(nodes))
+    i_idx, j_idx = pairs
+    dist = pairwise_distances(points, nodes)
+    n_pairs = len(i_idx)
+    sig = np.empty((len(points), n_pairs), dtype=np.int8)
+    for start in range(0, n_pairs, chunk_pairs):
+        stop = min(start + chunk_pairs, n_pairs)
+        di = dist[:, i_idx[start:stop]]
+        dj = dist[:, j_idx[start:stop]]
+        sig[:, start:stop] = np.sign(dj - di)
+    return sig
+
+
+def rank_sequence_of_points(points: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+    """Distance rank vector of each point w.r.t. all nodes.
+
+    Rank 0 is the nearest node.  This is the "detection node sequence" of
+    the sequence-based baselines, expressed as a rank vector so that two
+    sequences can be compared with rank correlation.
+    """
+    dist = pairwise_distances(points, nodes)
+    order = np.argsort(dist, axis=1, kind="stable")
+    ranks = np.empty_like(order)
+    m, n = order.shape
+    rows = np.repeat(np.arange(m), n)
+    ranks[rows, order.ravel()] = np.tile(np.arange(n), m)
+    return ranks

@@ -1,0 +1,47 @@
+"""Mobility model interface.
+
+A mobility model is a function from time to position; every model here is
+*pre-materialized* — the whole trace is generated once (deterministically,
+from an RNG) and then queried at arbitrary times.  That makes the trace
+identical no matter how many trackers sample it, which is essential for
+fair baseline comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["MobilityModel", "StationaryTarget"]
+
+
+@runtime_checkable
+class MobilityModel(Protocol):
+    """Time-indexed target position."""
+
+    @property
+    def duration_s(self) -> float:
+        """Length of the materialized trace in seconds."""
+        ...
+
+    def position(self, times: np.ndarray) -> np.ndarray:
+        """Positions (m, 2) at the given times (m,); clamped to the trace ends."""
+        ...
+
+
+@dataclass(frozen=True)
+class StationaryTarget:
+    """A target that never moves — the degenerate case used by localization
+    (as opposed to tracking) tests and by the one-shot error analyses."""
+
+    point: np.ndarray
+    duration_s: float = np.inf
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "point", np.asarray(self.point, dtype=float).reshape(2))
+
+    def position(self, times: np.ndarray) -> np.ndarray:
+        times = np.atleast_1d(np.asarray(times, dtype=float))
+        return np.broadcast_to(self.point, (len(times), 2)).copy()

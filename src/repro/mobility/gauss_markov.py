@@ -1,0 +1,106 @@
+"""Gauss-Markov mobility model.
+
+Random waypoint (the paper's trace generator) produces straight legs with
+sharp turns; Gauss-Markov produces smooth, momentum-carrying motion — a
+tougher test of whether a tracker merely interpolates straight lines.
+Velocity evolves as an AR(1) process around a mean speed and is reflected
+at the field boundary.  Materialized up front like every mobility model
+here (see :mod:`repro.mobility.base`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rng import ensure_rng
+
+__all__ = ["GaussMarkov"]
+
+
+@dataclass
+class GaussMarkov:
+    """Materialized Gauss-Markov trace.
+
+    Parameters
+    ----------
+    field_size : side of the square field (metres).
+    duration_s : trace length.
+    mean_speed : long-run speed the process reverts to (m/s).
+    alpha : memory parameter in [0, 1); 0 = fresh random velocity each
+        step (Brownian-ish), near 1 = nearly straight-line motion.
+    step_s : internal integration step.
+    speed_sigma / heading_sigma : innovation scales for speed (m/s) and
+        heading (radians) per step.
+    margin : reflection boundary inset.
+    """
+
+    field_size: float = 100.0
+    duration_s: float = 60.0
+    mean_speed: float = 3.0
+    alpha: float = 0.85
+    step_s: float = 0.1
+    speed_sigma: float = 0.5
+    heading_sigma: float = 0.4
+    margin: float = 1.0
+    seed: "int | np.random.Generator | None" = None
+    _times: np.ndarray = field(init=False, repr=False)
+    _points: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.field_size <= 0 or self.duration_s <= 0 or self.step_s <= 0:
+            raise ValueError("field, duration and step must be positive")
+        if not (0.0 <= self.alpha < 1.0):
+            raise ValueError(f"alpha must be in [0, 1), got {self.alpha}")
+        if self.mean_speed <= 0:
+            raise ValueError(f"mean speed must be positive, got {self.mean_speed}")
+        if not (0 <= self.margin < self.field_size / 2):
+            raise ValueError(f"margin {self.margin} incompatible with field")
+        rng = ensure_rng(self.seed)
+        lo, hi = self.margin, self.field_size - self.margin
+
+        n_steps = int(np.ceil(self.duration_s / self.step_s)) + 1
+        pts = np.empty((n_steps, 2))
+        pts[0] = rng.uniform(lo, hi, size=2)
+        speed = self.mean_speed
+        heading = rng.uniform(0, 2 * np.pi)
+        root = np.sqrt(1.0 - self.alpha**2)
+        for i in range(1, n_steps):
+            speed = (
+                self.alpha * speed
+                + (1 - self.alpha) * self.mean_speed
+                + root * rng.normal(0.0, self.speed_sigma)
+            )
+            speed = max(speed, 0.1)
+            # heading is a random walk whose innovation shrinks with memory
+            # (no fixed mean direction: the walker has momentum, not a goal)
+            heading = heading + root * rng.normal(0.0, self.heading_sigma)
+            step = speed * self.step_s
+            cand = pts[i - 1] + step * np.array([np.cos(heading), np.sin(heading)])
+            # reflect at the boundary, flipping the corresponding heading part
+            if cand[0] < lo or cand[0] > hi:
+                heading = np.pi - heading
+                cand[0] = np.clip(2 * np.clip(cand[0], lo, hi) - cand[0], lo, hi)
+            if cand[1] < lo or cand[1] > hi:
+                heading = -heading
+                cand[1] = np.clip(2 * np.clip(cand[1], lo, hi) - cand[1], lo, hi)
+            pts[i] = cand
+        self._points = pts
+        self._times = np.arange(n_steps) * self.step_s
+
+    def position(self, times: np.ndarray) -> np.ndarray:
+        times = np.atleast_1d(np.asarray(times, dtype=float))
+        t = np.clip(times, 0.0, self._times[-1])
+        idx = np.clip(np.searchsorted(self._times, t, side="right") - 1, 0, len(self._times) - 2)
+        t0 = self._times[idx]
+        frac = ((t - t0) / self.step_s)[:, None]
+        return self._points[idx] * (1.0 - frac) + self._points[idx + 1] * frac
+
+    def speed(self, times: np.ndarray) -> np.ndarray:
+        """Instantaneous speed along the materialized trace."""
+        times = np.atleast_1d(np.asarray(times, dtype=float))
+        t = np.clip(times, 0.0, self._times[-1])
+        idx = np.clip(np.searchsorted(self._times, t, side="right") - 1, 0, len(self._times) - 2)
+        seg = self._points[idx + 1] - self._points[idx]
+        return np.hypot(seg[:, 0], seg[:, 1]) / self.step_s

@@ -1,0 +1,89 @@
+"""Trace persistence and replay.
+
+Lets a mobility trace be captured to CSV and replayed later — the
+mechanism for substituting *recorded* target trajectories (GPS logs,
+motion-capture exports) for the synthetic models, and for pinning the
+exact trace a figure was generated with.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["RecordedTrace", "save_trace", "load_trace", "record_model"]
+
+
+@dataclass
+class RecordedTrace:
+    """A time-stamped position series acting as a mobility model."""
+
+    times: np.ndarray
+    points: np.ndarray
+    name: str = "recorded"
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.points = np.atleast_2d(np.asarray(self.points, dtype=float))
+        if self.times.ndim != 1 or len(self.times) < 2:
+            raise ValueError("need at least two timestamped samples")
+        if self.points.shape != (len(self.times), 2):
+            raise ValueError(
+                f"points shape {self.points.shape} does not match {len(self.times)} times"
+            )
+        if np.any(np.diff(self.times) <= 0):
+            raise ValueError("timestamps must be strictly increasing")
+
+    @property
+    def duration_s(self) -> float:
+        return float(self.times[-1] - self.times[0])
+
+    def position(self, times: np.ndarray) -> np.ndarray:
+        """Linear interpolation, clamped at the recording's ends."""
+        times = np.atleast_1d(np.asarray(times, dtype=float))
+        t = np.clip(times, self.times[0], self.times[-1])
+        idx = np.clip(np.searchsorted(self.times, t, side="right") - 1, 0, len(self.times) - 2)
+        t0, t1 = self.times[idx], self.times[idx + 1]
+        frac = ((t - t0) / (t1 - t0))[:, None]
+        return self.points[idx] * (1.0 - frac) + self.points[idx + 1] * frac
+
+
+def record_model(model, duration_s: float, *, sample_hz: float = 10.0, name: str = "recorded") -> RecordedTrace:
+    """Materialize any mobility model into a RecordedTrace."""
+    if duration_s <= 0 or sample_hz <= 0:
+        raise ValueError("duration and rate must be positive")
+    times = np.arange(0.0, duration_s + 1e-9, 1.0 / sample_hz)
+    return RecordedTrace(times=times, points=model.position(times), name=name)
+
+
+def save_trace(trace: RecordedTrace, path: "str | Path") -> Path:
+    """Write a trace as ``t,x,y`` CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["t", "x", "y"])
+        for t, (x, y) in zip(trace.times, trace.points):
+            writer.writerow([f"{t:.6f}", f"{x:.6f}", f"{y:.6f}"])
+    return path
+
+
+def load_trace(path: "str | Path", *, name: "str | None" = None) -> RecordedTrace:
+    """Read a ``t,x,y`` CSV back into a replayable trace."""
+    path = Path(path)
+    times, points = [], []
+    with path.open() as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None or not {"t", "x", "y"} <= set(reader.fieldnames):
+            raise ValueError(f"{path} is not a t,x,y trace file")
+        for row in reader:
+            times.append(float(row["t"]))
+            points.append((float(row["x"]), float(row["y"])))
+    return RecordedTrace(
+        times=np.asarray(times),
+        points=np.asarray(points),
+        name=name or path.stem,
+    )

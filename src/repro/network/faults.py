@@ -1,0 +1,130 @@
+"""Fault models: which sensors fail to report a grouping sampling.
+
+§4.4-3 of the paper motivates fault tolerance with "breakdown of sensors
+or fault occurrence"; these models decide, per localization round, the set
+of non-reporting sensors (the paper's ``N_r-bar``).  They compose, so a
+scenario can combine permanent crashes with transient dropouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "FaultModel",
+    "NoFaults",
+    "IndependentDropout",
+    "CrashFailures",
+    "IntermittentFaults",
+    "CompositeFaults",
+]
+
+
+@runtime_checkable
+class FaultModel(Protocol):
+    """Decides which of *n* sensors do not report in a given round."""
+
+    def drop_mask(self, n: int, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        """Boolean (n,) mask — True means the sensor does NOT report."""
+        ...
+
+
+@dataclass(frozen=True)
+class NoFaults:
+    """Every sensor always reports (baseline behaviour)."""
+
+    def drop_mask(self, n: int, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        return np.zeros(n, dtype=bool)
+
+
+@dataclass(frozen=True)
+class IndependentDropout:
+    """Each sensor independently misses each round with probability *p*.
+
+    Models transient losses: collisions, fading, queue overflow.
+    """
+
+    p: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.p <= 1.0):
+            raise ValueError(f"dropout probability must be in [0, 1], got {self.p}")
+
+    def drop_mask(self, n: int, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        if self.p == 0.0:
+            return np.zeros(n, dtype=bool)
+        return rng.random(n) < self.p
+
+
+@dataclass
+class CrashFailures:
+    """Sensors crash permanently at pre-drawn rounds.
+
+    ``crash_fraction`` of the sensors crash, each at a round chosen
+    uniformly in ``[0, horizon_rounds)``; once crashed a sensor never
+    reports again.  Crash times are drawn lazily on first use so the model
+    can be declared before the deployment size is known.
+    """
+
+    crash_fraction: float = 0.2
+    horizon_rounds: int = 120
+    _crash_round: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.crash_fraction <= 1.0):
+            raise ValueError(f"crash fraction must be in [0, 1], got {self.crash_fraction}")
+        if self.horizon_rounds < 1:
+            raise ValueError(f"horizon must be >= 1 round, got {self.horizon_rounds}")
+
+    def drop_mask(self, n: int, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        if self._crash_round is None or len(self._crash_round) != n:
+            crash_round = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+            n_crash = int(round(self.crash_fraction * n))
+            if n_crash > 0:
+                victims = rng.choice(n, size=n_crash, replace=False)
+                crash_round[victims] = rng.integers(0, self.horizon_rounds, size=n_crash)
+            self._crash_round = crash_round
+        return round_index >= self._crash_round
+
+
+@dataclass
+class IntermittentFaults:
+    """Sensors toggle between healthy and faulty bursts (Gilbert-Elliott style).
+
+    A healthy sensor becomes faulty each round with probability ``p_fail``
+    and recovers with probability ``p_recover``; while faulty it does not
+    report.  Captures obstacle shadowing and periodic interference.
+    """
+
+    p_fail: float = 0.05
+    p_recover: float = 0.3
+    _faulty: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        for name, p in (("p_fail", self.p_fail), ("p_recover", self.p_recover)):
+            if not (0.0 <= p <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+
+    def drop_mask(self, n: int, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        if self._faulty is None or len(self._faulty) != n:
+            self._faulty = np.zeros(n, dtype=bool)
+        u = rng.random(n)
+        healthy = ~self._faulty
+        self._faulty = np.where(healthy, u < self.p_fail, u >= self.p_recover)
+        return self._faulty.copy()
+
+
+@dataclass(frozen=True)
+class CompositeFaults:
+    """Union of several fault models: a sensor is silent if any model drops it."""
+
+    models: Sequence[FaultModel] = ()
+
+    def drop_mask(self, n: int, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        mask = np.zeros(n, dtype=bool)
+        for model in self.models:
+            mask |= model.drop_mask(n, round_index, rng)
+        return mask

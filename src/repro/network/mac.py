@@ -1,0 +1,108 @@
+"""Slotted contention MAC for the report uplink.
+
+The §5.2 discussion's second half: dense deployments congest the channel
+and add delay.  This model makes that concrete without simulating radios
+bit by bit: per localization round, every reporting sensor contends for
+one of ``n_slots`` uplink slots (slotted-ALOHA style, with up to
+``max_retries`` backoff rounds).  Collided-out reports are lost; every
+retry adds one slot time of delay.  The outputs — per-round loss mask and
+delay statistics — plug into the same pipeline as the fault models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SlottedContentionMac", "MacRoundStats"]
+
+
+@dataclass(frozen=True)
+class MacRoundStats:
+    """Outcome of one round of uplink contention."""
+
+    delivered: np.ndarray  # (n,) bool
+    delay_slots: np.ndarray  # (n,) slots waited by delivered reports (nan if lost)
+    collisions: int
+    attempts: int
+
+    @property
+    def delivery_rate(self) -> float:
+        n = len(self.delivered)
+        return float(self.delivered.sum() / n) if n else 0.0
+
+    @property
+    def mean_delay_slots(self) -> float:
+        ok = self.delivered
+        if not ok.any():
+            return float("nan")
+        return float(self.delay_slots[ok].mean())
+
+
+@dataclass(frozen=True)
+class SlottedContentionMac:
+    """Slotted-ALOHA-style contention per localization round.
+
+    Parameters
+    ----------
+    n_slots : uplink slots available per contention round.
+    max_retries : how many extra contention rounds a collided sensor gets.
+    """
+
+    n_slots: int = 16
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n_slots < 1:
+            raise ValueError(f"need at least one slot, got {self.n_slots}")
+        if self.max_retries < 0:
+            raise ValueError(f"retries must be non-negative, got {self.max_retries}")
+
+    def contend(self, reporting: np.ndarray, rng: np.random.Generator) -> MacRoundStats:
+        """Run contention for the sensors flagged in *reporting*."""
+        reporting = np.asarray(reporting, dtype=bool)
+        n = len(reporting)
+        delivered = np.zeros(n, dtype=bool)
+        delay = np.full(n, np.nan)
+        backlog = np.flatnonzero(reporting)
+        collisions = 0
+        attempts = 0
+        for attempt in range(self.max_retries + 1):
+            if len(backlog) == 0:
+                break
+            slots = rng.integers(0, self.n_slots, size=len(backlog))
+            attempts += len(backlog)
+            unique, counts = np.unique(slots, return_counts=True)
+            clean = set(unique[counts == 1].tolist())
+            won = np.array([s in clean for s in slots])
+            winners = backlog[won]
+            delivered[winners] = True
+            delay[winners] = attempt * self.n_slots + slots[won]
+            collisions += int((~won).sum())
+            backlog = backlog[~won]
+        return MacRoundStats(
+            delivered=delivered, delay_slots=delay, collisions=collisions, attempts=attempts
+        )
+
+    def drop_mask(self, n: int, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        """FaultModel-compatible adapter: True = report lost to contention."""
+        stats = self.contend(np.ones(n, dtype=bool), rng)
+        return ~stats.delivered
+
+    def expected_delivery_rate(self, n_reporting: int) -> float:
+        """Analytic single-attempt success p = (1 - 1/S)^(m-1), then retries.
+
+        Approximation treating each retry round as independent thinning.
+        """
+        if n_reporting <= 0:
+            return 1.0
+        remaining = float(n_reporting)
+        delivered = 0.0
+        for _ in range(self.max_retries + 1):
+            if remaining < 1e-9:
+                break
+            p = (1.0 - 1.0 / self.n_slots) ** max(remaining - 1.0, 0.0)
+            delivered += remaining * p
+            remaining *= 1.0 - p
+        return min(delivered / n_reporting, 1.0)

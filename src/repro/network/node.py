@@ -1,0 +1,92 @@
+"""Sensor node model.
+
+Nodes are deliberately thin: the tracking algorithms only ever see RSS
+matrices, so a node is its identity, position, and health state.  Energy
+book-keeping is included because deployment density trade-offs (paper
+§5.2: "too dense deployment will worsen the communication ability") are
+exercised by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["NodeState", "SensorNode"]
+
+
+class NodeState(Enum):
+    """Health state of a sensor node."""
+
+    ACTIVE = "active"
+    FAILED = "failed"  # crashed; never reports again
+    SLEEPING = "sleeping"  # duty-cycled off; temporarily not reporting
+
+
+@dataclass
+class SensorNode:
+    """One deployed sensor.
+
+    Parameters
+    ----------
+    node_id:
+        Stable identity; pair enumeration (Definition 5) orders by id.
+    position:
+        (x, y) in metres.
+    state:
+        Current health state.
+    energy_j:
+        Remaining energy budget in joules (simplified linear model).
+    """
+
+    node_id: int
+    position: np.ndarray
+    state: NodeState = NodeState.ACTIVE
+    energy_j: float = 100.0
+    sample_cost_j: float = 1e-4
+    report_cost_j: float = 5e-4
+    samples_taken: int = field(default=0, repr=False)
+    reports_sent: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError(f"node_id must be non-negative, got {self.node_id}")
+        pos = np.asarray(self.position, dtype=float).reshape(2)
+        self.position = pos
+        if self.energy_j < 0:
+            raise ValueError(f"energy must be non-negative, got {self.energy_j}")
+
+    @property
+    def is_reporting(self) -> bool:
+        return self.state is NodeState.ACTIVE and self.energy_j > 0
+
+    def charge_sampling(self, k: int) -> None:
+        """Account for one grouping sampling of k samples plus one report."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        cost = k * self.sample_cost_j + self.report_cost_j
+        self.energy_j = max(0.0, self.energy_j - cost)
+        self.samples_taken += k
+        self.reports_sent += 1
+        if self.energy_j == 0.0:
+            self.state = NodeState.FAILED
+
+    def fail(self) -> None:
+        self.state = NodeState.FAILED
+
+    def sleep(self) -> None:
+        if self.state is NodeState.ACTIVE:
+            self.state = NodeState.SLEEPING
+
+    def wake(self) -> None:
+        if self.state is NodeState.SLEEPING:
+            self.state = NodeState.ACTIVE
+
+
+def positions_of(nodes: "list[SensorNode]") -> np.ndarray:
+    """Stack node positions into an (n, 2) array ordered by list position."""
+    if not nodes:
+        return np.empty((0, 2))
+    return np.stack([n.position for n in nodes])

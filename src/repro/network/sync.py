@@ -1,0 +1,125 @@
+"""Clock synchronization (paper ref [28]'s role in the system).
+
+Grouping sampling assumes sensors sample "almost synchronously"; the paper
+defers network timing to an adaptive synchronization protocol [28].  This
+module provides that substrate: per-node clocks with offset and drift, a
+reference-broadcast synchronization round (receivers timestamp a common
+beacon; pairwise offsets follow), and the resulting residual jitter that
+:class:`~repro.network.sensing.GroupSampler` consumes as ``clock_jitter_s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rng import ensure_rng
+
+__all__ = ["NodeClock", "ClockEnsemble", "ReferenceBroadcastSync"]
+
+
+@dataclass
+class NodeClock:
+    """A drifting local clock: ``local(t) = t + offset + drift * t``."""
+
+    offset_s: float = 0.0
+    drift_ppm: float = 0.0  # parts per million
+
+    def local_time(self, true_time: float) -> float:
+        return true_time + self.offset_s + self.drift_ppm * 1e-6 * true_time
+
+    def true_to_local_delta(self, true_time: float) -> float:
+        """How far this clock has wandered from true time at *true_time*."""
+        return self.local_time(true_time) - true_time
+
+
+@dataclass
+class ClockEnsemble:
+    """All node clocks in a deployment, with synchronization state."""
+
+    clocks: list[NodeClock]
+    corrections_s: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.clocks:
+            raise ValueError("ensemble needs at least one clock")
+        self.corrections_s = np.zeros(len(self.clocks))
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        rng: "np.random.Generator | int | None" = None,
+        *,
+        offset_sigma_s: float = 0.05,
+        drift_sigma_ppm: float = 30.0,
+    ) -> "ClockEnsemble":
+        """Typical mote hardware: tens-of-ms boot offsets, tens-of-ppm drift."""
+        if n < 1:
+            raise ValueError(f"need at least one clock, got {n}")
+        rng = ensure_rng(rng)
+        return cls(
+            [
+                NodeClock(
+                    offset_s=float(rng.normal(0.0, offset_sigma_s)),
+                    drift_ppm=float(rng.normal(0.0, drift_sigma_ppm)),
+                )
+                for _ in range(n)
+            ]
+        )
+
+    def apparent_offsets(self, true_time: float) -> np.ndarray:
+        """Each node's deviation from true time, after current corrections."""
+        raw = np.array([c.true_to_local_delta(true_time) for c in self.clocks])
+        return raw - self.corrections_s
+
+    def residual_jitter(self, true_time: float) -> float:
+        """Peak-to-peak sampling skew across the network right now."""
+        off = self.apparent_offsets(true_time)
+        return float(off.max() - off.min())
+
+
+@dataclass(frozen=True)
+class ReferenceBroadcastSync:
+    """RBS-style synchronization: one beacon, receiver-side timestamping.
+
+    Every node timestamps the same physical broadcast; differences of those
+    timestamps estimate pairwise offsets up to receive-side jitter
+    (``timestamp_sigma_s``).  A round aligns every node to the ensemble
+    mean; the residual is the timestamping noise — the quantity that ends
+    up as ``GroupSampler.clock_jitter_s``.
+    """
+
+    timestamp_sigma_s: float = 2e-3
+
+    def __post_init__(self) -> None:
+        if self.timestamp_sigma_s < 0:
+            raise ValueError(f"timestamp sigma must be non-negative, got {self.timestamp_sigma_s}")
+
+    def run_round(
+        self,
+        ensemble: ClockEnsemble,
+        true_time: float,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> float:
+        """Execute one sync round; returns the post-round residual jitter."""
+        rng = ensure_rng(rng)
+        # receivers timestamp the beacon on their (uncorrected) local clocks
+        raw = np.array([c.true_to_local_delta(true_time) for c in ensemble.clocks])
+        observed = raw + rng.normal(0.0, self.timestamp_sigma_s, size=len(raw))
+        # align to the ensemble mean of the observed timestamps
+        ensemble.corrections_s = observed - observed.mean()
+        return ensemble.residual_jitter(true_time)
+
+    def recommended_resync_period(
+        self, ensemble: ClockEnsemble, jitter_budget_s: float
+    ) -> float:
+        """How often to resync so drift stays within the jitter budget."""
+        if jitter_budget_s <= 0:
+            raise ValueError(f"budget must be positive, got {jitter_budget_s}")
+        drifts = np.array([c.drift_ppm for c in ensemble.clocks]) * 1e-6
+        spread = float(drifts.max() - drifts.min())
+        if spread <= 0:
+            return float("inf")
+        return jitter_budget_s / spread

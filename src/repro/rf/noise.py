@@ -1,0 +1,101 @@
+"""Noise models for the sensing channel.
+
+The paper's analysis assumes i.i.d. Gaussian shadowing ``X ~ N(0, sigma^2)``
+per node per sample (Eq. 1).  The alternatives here (heavy-tailed Student-t,
+contaminated mixture) exist to stress-test FTTT's robustness beyond the
+paper's assumptions — they are used by the failure-injection tests and the
+ablation benchmarks, not by the headline reproductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["NoiseModel", "GaussianNoise", "NoNoise", "StudentTNoise", "MixtureNoise"]
+
+
+@runtime_checkable
+class NoiseModel(Protocol):
+    """Anything that can draw additive dB-domain noise of a given shape."""
+
+    def sample(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        """Draw noise values (dB) of the given shape."""
+        ...
+
+
+@dataclass(frozen=True)
+class GaussianNoise:
+    """i.i.d. Gaussian shadowing — the paper's model (sigma_X = 6 dB in Table 1)."""
+
+    sigma_dbm: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.sigma_dbm < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma_dbm}")
+
+    def sample(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        if self.sigma_dbm == 0.0:
+            return np.zeros(shape)
+        return rng.normal(0.0, self.sigma_dbm, size=shape)
+
+
+@dataclass(frozen=True)
+class NoNoise:
+    """Deterministic channel; useful for geometry-only unit tests."""
+
+    def sample(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return np.zeros(shape)
+
+
+@dataclass(frozen=True)
+class StudentTNoise:
+    """Heavy-tailed noise, scaled so the standard deviation matches sigma.
+
+    Requires ``dof > 2`` for the variance to exist.
+    """
+
+    sigma_dbm: float = 6.0
+    dof: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.sigma_dbm < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma_dbm}")
+        if self.dof <= 2:
+            raise ValueError(f"dof must exceed 2 for finite variance, got {self.dof}")
+
+    def sample(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        if self.sigma_dbm == 0.0:
+            return np.zeros(shape)
+        scale = self.sigma_dbm / np.sqrt(self.dof / (self.dof - 2.0))
+        return scale * rng.standard_t(self.dof, size=shape)
+
+
+@dataclass(frozen=True)
+class MixtureNoise:
+    """Contaminated Gaussian: baseline noise plus occasional large outliers.
+
+    Models intermittent interference bursts (the "in-the-field factors"
+    the paper alludes to): with probability ``outlier_prob`` a sample's
+    noise is drawn from the wide component instead.
+    """
+
+    sigma_dbm: float = 6.0
+    outlier_sigma_dbm: float = 18.0
+    outlier_prob: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.sigma_dbm < 0 or self.outlier_sigma_dbm < 0:
+            raise ValueError("sigmas must be non-negative")
+        if not (0.0 <= self.outlier_prob <= 1.0):
+            raise ValueError(f"outlier_prob must lie in [0, 1], got {self.outlier_prob}")
+
+    def sample(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        base = rng.normal(0.0, self.sigma_dbm, size=shape) if self.sigma_dbm else np.zeros(shape)
+        if self.outlier_prob == 0.0 or self.outlier_sigma_dbm == 0.0:
+            return base
+        outliers = rng.normal(0.0, self.outlier_sigma_dbm, size=shape)
+        mask = rng.random(size=shape) < self.outlier_prob
+        return np.where(mask, outliers, base)

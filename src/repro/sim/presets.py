@@ -1,0 +1,86 @@
+"""Named scenario presets.
+
+One-line access to the operating points the repository discusses: the
+paper's Table-1 baseline, density extremes, degraded-network stress, the
+outdoor-scale world, and a momentum target.  Presets are plain functions
+of a seed so call sites stay explicit about randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import GridConfig, SimulationConfig
+from repro.sim.scenario import Scenario, make_scenario
+
+__all__ = ["PRESETS", "list_presets", "make_preset"]
+
+
+def _paper_baseline(seed) -> Scenario:
+    """Table-1 defaults: 10 random sensors, k=5, eps=1, sigma=6, 60 s."""
+    return make_scenario(SimulationConfig(), seed=seed)
+
+
+def _dense_grid(seed) -> Scenario:
+    """36 sensors on a grid — the accuracy-saturated regime of Fig. 11."""
+    cfg = SimulationConfig(n_sensors=36, grid=GridConfig(cell_size_m=2.0))
+    return make_scenario(cfg, deployment="grid", seed=seed)
+
+
+def _sparse(seed) -> Scenario:
+    """5 sensors — the steep left edge of Fig. 11, coverage holes included."""
+    cfg = SimulationConfig(n_sensors=5)
+    return make_scenario(cfg, seed=seed)
+
+
+def _noisy_coarse(seed) -> Scenario:
+    """Worst Table-1 corner: eps = 3 dBm, k = 3."""
+    cfg = SimulationConfig(resolution_dbm=3.0, sampling_times=3)
+    return make_scenario(cfg, seed=seed)
+
+
+def _outdoor_scale(seed) -> Scenario:
+    """A 40 m playground with the cross deployment (RF twin of Fig. 13)."""
+    cfg = SimulationConfig(
+        field_size_m=40.0,
+        n_sensors=9,
+        sensing_range_m=30.0,
+        grid=GridConfig(cell_size_m=0.5),
+    )
+    return make_scenario(cfg, deployment="cross", seed=seed)
+
+
+def _momentum_target(seed) -> Scenario:
+    """Gauss-Markov walker instead of random waypoint."""
+    from repro.mobility.gauss_markov import GaussMarkov
+    from repro.rng import ensure_rng
+
+    rng = ensure_rng(seed)
+    cfg = SimulationConfig(n_sensors=15)
+    mobility = GaussMarkov(
+        field_size=cfg.field_size_m, duration_s=cfg.duration_s, seed=rng
+    )
+    return make_scenario(cfg, seed=rng, mobility=mobility)
+
+
+PRESETS: dict[str, Callable] = {
+    "paper-baseline": _paper_baseline,
+    "dense-grid": _dense_grid,
+    "sparse": _sparse,
+    "noisy-coarse": _noisy_coarse,
+    "outdoor-scale": _outdoor_scale,
+    "momentum-target": _momentum_target,
+}
+
+
+def list_presets() -> list[tuple[str, str]]:
+    """(name, description) for every preset."""
+    return [(name, (fn.__doc__ or "").strip().split("\n")[0]) for name, fn in PRESETS.items()]
+
+
+def make_preset(name: str, seed: "int | None" = 0) -> Scenario:
+    """Build a preset scenario by name."""
+    if name not in PRESETS:
+        known = ", ".join(sorted(PRESETS))
+        raise ValueError(f"unknown preset {name!r}; choose from: {known}")
+    return PRESETS[name](seed)

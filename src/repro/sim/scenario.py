@@ -1,0 +1,239 @@
+"""Scenario assembly: one self-consistent simulated world.
+
+A scenario fixes the deployment, propagation, mobility trace, and both
+face maps (uncertain for FTTT, certain/bisector for the baselines), and
+manufactures trackers bound to those maps.  All trackers built from the
+same scenario therefore see *identical* physics — the comparisons in the
+paper's figures are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Any
+
+import numpy as np
+
+from repro.baselines.direct_mle import DirectMLETracker
+from repro.baselines.nearest import NearestNodeTracker
+from repro.baselines.path_matching import PathMatchingTracker
+from repro.baselines.pknn import PkNNTracker
+from repro.baselines.range_mle import RangeMLETracker
+from repro.baselines.weighted_centroid import WeightedCentroidTracker
+from repro.config import SimulationConfig
+from repro.core.tracker import FTTTracker
+from repro.geometry.apollonius import effective_uncertainty_constant, uncertainty_constant
+from repro.geometry.faces import FaceMap, build_certain_face_map, build_face_map
+from repro.geometry.grid import Grid
+from repro.mobility.base import MobilityModel
+from repro.mobility.waypoint import RandomWaypoint
+from repro.network.deployment import cross_deployment, grid_deployment, random_deployment
+from repro.network.sensing import GroupSampler
+from repro.rf.channel import RssChannel
+from repro.rf.noise import GaussianNoise
+from repro.rf.pathloss import LogDistancePathLoss
+from repro.rng import ensure_rng
+
+__all__ = ["Scenario", "make_scenario", "TRACKER_NAMES"]
+
+TRACKER_NAMES = (
+    "fttt",
+    "fttt-extended",
+    "fttt-exhaustive",
+    "pm",
+    "direct-mle",
+    "range-mle",
+    "pknn",
+    "weighted-centroid",
+    "kalman",
+    "particle",
+    "nearest",
+)
+
+
+@dataclass
+class Scenario:
+    """A fully-specified simulated world plus tracker factory."""
+
+    config: SimulationConfig
+    nodes: np.ndarray
+    channel: RssChannel
+    sampler: GroupSampler
+    mobility: MobilityModel
+    uncertainty_c: float
+    _face_map: FaceMap | None = field(default=None, repr=False)
+    _certain_map: FaceMap | None = field(default=None, repr=False)
+
+    @property
+    def n_sensors(self) -> int:
+        return len(self.nodes)
+
+    @cached_property
+    def grid(self) -> Grid:
+        return Grid.square(self.config.field_size_m, self.config.grid.cell_size_m)
+
+    @property
+    def face_map(self) -> FaceMap:
+        """Uncertain-boundary face map (built lazily, cached)."""
+        if self._face_map is None:
+            self._face_map = build_face_map(
+                self.nodes,
+                self.grid,
+                self.uncertainty_c,
+                sensing_range=self.config.sensing_range_m,
+                split_components=self.config.grid.split_components,
+            )
+        return self._face_map
+
+    @property
+    def certain_map(self) -> FaceMap:
+        """Bisector-only face map for the certain-sequence baselines."""
+        if self._certain_map is None:
+            self._certain_map = build_certain_face_map(
+                self.nodes,
+                self.grid,
+                split_components=self.config.grid.split_components,
+            )
+        return self._certain_map
+
+    def make_tracker(self, name: str, **overrides: Any):
+        """Build a tracker bound to this scenario's maps.
+
+        Names: ``fttt`` (basic, heuristic matching), ``fttt-extended``
+        (quantitative vectors), ``fttt-exhaustive`` (basic, full scan),
+        ``pm``, ``direct-mle``, ``range-mle``, ``pknn``,
+        ``weighted-centroid``, ``nearest``.
+        """
+        if name.startswith("fttt"):
+            overrides.setdefault("comparator_eps", self.config.resolution_dbm)
+        if name == "fttt":
+            return FTTTracker(self.face_map, mode="basic", matcher="heuristic", **overrides)
+        if name == "fttt-extended":
+            from repro.core.extended import attach_soft_signatures
+
+            attach_soft_signatures(
+                self.face_map,
+                path_loss_exponent=self.config.path_loss_exponent,
+                noise_sigma_dbm=self.config.noise_sigma_dbm,
+                resolution_dbm=self.config.resolution_dbm,
+                sensing_range=self.config.sensing_range_m,
+            )
+            return FTTTracker(self.face_map, mode="extended", matcher="heuristic", **overrides)
+        if name == "fttt-exhaustive":
+            return FTTTracker(self.face_map, mode="basic", matcher="exhaustive", **overrides)
+        if name == "pm":
+            overrides.setdefault("vmax_mps", self.config.target_speed_max_mps)
+            return PathMatchingTracker(self.certain_map, **overrides)
+        if name == "direct-mle":
+            return DirectMLETracker(self.certain_map, **overrides)
+        if name == "range-mle":
+            overrides.setdefault("field_size", self.config.field_size_m)
+            return RangeMLETracker(self.nodes, self.channel.pathloss, **overrides)
+        if name == "kalman":
+            from repro.baselines.kalman import KalmanTracker
+
+            inner = RangeMLETracker(
+                self.nodes, self.channel.pathloss, field_size=self.config.field_size_m
+            )
+            overrides.setdefault("field_size", self.config.field_size_m)
+            return KalmanTracker(inner, **overrides)
+        if name == "particle":
+            from repro.baselines.particle import ParticleFilterTracker
+
+            overrides.setdefault("noise_sigma_dbm", self.config.noise_sigma_dbm)
+            overrides.setdefault("field_size", self.config.field_size_m)
+            overrides.setdefault("sensing_range_m", self.config.sensing_range_m)
+            return ParticleFilterTracker(self.nodes, self.channel.pathloss, **overrides)
+        if name == "pknn":
+            return PkNNTracker(self.nodes, **overrides)
+        if name == "weighted-centroid":
+            return WeightedCentroidTracker(self.nodes, **overrides)
+        if name == "nearest":
+            return NearestNodeTracker(self.nodes)
+        raise ValueError(f"unknown tracker {name!r}; choose from {TRACKER_NAMES}")
+
+
+def make_scenario(
+    config: SimulationConfig | None = None,
+    *,
+    deployment: str = "random",
+    seed: "int | np.random.Generator | None" = None,
+    nodes: np.ndarray | None = None,
+    mobility: MobilityModel | None = None,
+    c_mode: str = "calibrated",
+) -> Scenario:
+    """Build a scenario from a config.
+
+    Parameters
+    ----------
+    config : simulation parameters (defaults to the paper's baseline point).
+    deployment : ``"random"`` (uniform, Fig. 10c-d), ``"grid"``
+        (Fig. 10a-b), or ``"cross"`` (the Fig. 13 "+" shape); ignored when
+        explicit *nodes* are given.
+    seed : drives deployment and the mobility trace (observation noise uses
+        the separate RNG passed to the runner).
+    mobility : override the default random-waypoint trace.
+    c_mode : how the uncertainty constant is derived — ``"calibrated"``
+        (default) matches the k-sample flip statistics
+        (:func:`~repro.geometry.apollonius.effective_uncertainty_constant`);
+        ``"paper"`` uses the paper's Eq. 3 expectation form verbatim.
+    """
+    config = config or SimulationConfig()
+    rng = ensure_rng(seed)
+    if nodes is None:
+        if deployment == "random":
+            nodes = random_deployment(
+                config.n_sensors, config.field_size_m, rng, min_separation=2.0 * config.grid.cell_size_m
+            )
+        elif deployment == "grid":
+            nodes = grid_deployment(config.n_sensors, config.field_size_m)
+        elif deployment == "cross":
+            nodes = cross_deployment(config.field_size_m, arm_nodes=max(1, (config.n_sensors - 1) // 4))
+        else:
+            raise ValueError(f"unknown deployment {deployment!r}")
+    else:
+        nodes = np.atleast_2d(np.asarray(nodes, dtype=float))
+
+    pathloss = LogDistancePathLoss(
+        exponent=config.path_loss_exponent, p0_dbm=config.tx_power_dbm
+    )
+    channel = RssChannel(
+        nodes=nodes,
+        pathloss=pathloss,
+        noise=GaussianNoise(config.noise_sigma_dbm),
+        sensing_range_m=config.sensing_range_m,
+    )
+    sampler = GroupSampler(
+        channel=channel,
+        k=config.sampling_times,
+        sampling_rate_hz=config.sampling_rate_hz,
+    )
+    if mobility is None:
+        mobility = RandomWaypoint(
+            field_size=config.field_size_m,
+            duration_s=config.duration_s,
+            speed_range=(config.target_speed_min_mps, config.target_speed_max_mps),
+            seed=rng,
+        )
+    if c_mode == "calibrated":
+        c = effective_uncertainty_constant(
+            config.resolution_dbm,
+            config.path_loss_exponent,
+            config.noise_sigma_dbm,
+            config.sampling_times,
+        )
+    elif c_mode == "paper":
+        c = uncertainty_constant(
+            config.resolution_dbm, config.path_loss_exponent, config.noise_sigma_dbm
+        )
+    else:
+        raise ValueError(f"unknown c_mode {c_mode!r}")
+    return Scenario(
+        config=config,
+        nodes=nodes,
+        channel=channel,
+        sampler=sampler,
+        mobility=mobility,
+        uncertainty_c=c,
+    )

@@ -1,0 +1,200 @@
+"""Mote firmware: the sampling/reporting state machine.
+
+The outdoor system's motes are not functions — they are little programs:
+sample on a timer, queue the group, transmit with retries, back off on
+failure, drop the oldest report when the queue overflows.  This module
+models that loop on top of the discrete-event scheduler, with the radio
+represented by a Bernoulli link (per-try delivery probability) and
+acknowledgements.  The gateway-side counterpart assembles rounds by
+sequence number and reports delivery latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.events import EventScheduler
+from repro.rng import ensure_rng
+from repro.testbed.packets import ReportFrame
+
+__all__ = ["FirmwareConfig", "MoteFirmware", "GatewayCollector", "run_reporting_epoch"]
+
+
+@dataclass(frozen=True)
+class FirmwareConfig:
+    """Timing and radio parameters of the report loop."""
+
+    k: int = 5  # samples per grouping
+    sample_period_s: float = 0.1  # 10 Hz
+    tx_delay_s: float = 0.01  # transmit + ack turnaround
+    backoff_s: float = 0.05  # wait after a failed try
+    max_tries: int = 3  # tries per report before giving up
+    queue_depth: int = 4  # pending reports kept
+
+    def __post_init__(self) -> None:
+        if self.k < 1 or self.max_tries < 1 or self.queue_depth < 1:
+            raise ValueError("k, max_tries and queue_depth must be >= 1")
+        if self.sample_period_s <= 0 or self.tx_delay_s <= 0 or self.backoff_s < 0:
+            raise ValueError("timing parameters must be positive (backoff >= 0)")
+
+
+@dataclass
+class MoteFirmware:
+    """One mote's report loop.
+
+    The mote samples ``k`` levels per round (values supplied by a callback
+    so the physics stays outside), packs them into a
+    :class:`~repro.testbed.packets.ReportFrame`, and pushes the frame
+    through a lossy acknowledged link.
+    """
+
+    mote_id: int
+    config: FirmwareConfig
+    link_delivery_p: float = 0.9
+    sent: int = field(default=0, repr=False)
+    delivered: int = field(default=0, repr=False)
+    dropped_overflow: int = field(default=0, repr=False)
+    dropped_retries: int = field(default=0, repr=False)
+    _queue: list[ReportFrame] = field(default_factory=list, repr=False)
+    _sequence: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.link_delivery_p <= 1.0):
+            raise ValueError(f"link delivery must be in (0, 1], got {self.link_delivery_p}")
+
+    def enqueue_round(self, levels_db: "list[float]") -> ReportFrame:
+        """Finish a grouping sampling: pack and queue its report."""
+        frame = ReportFrame(
+            mote_id=self.mote_id,
+            sequence=self._sequence & 0xFFFF,
+            levels_db=tuple(float(x) for x in levels_db),
+        )
+        self._sequence += 1
+        if len(self._queue) >= self.config.queue_depth:
+            self._queue.pop(0)  # oldest report is the least useful
+            self.dropped_overflow += 1
+        self._queue.append(frame)
+        return frame
+
+    def try_transmit(self, rng: np.random.Generator, collector: "GatewayCollector", now: float) -> bool:
+        """One acknowledged transmission attempt of the head-of-queue report.
+
+        Returns True when the queue head was resolved (delivered or
+        abandoned), False when it stays queued for another backoff.
+        """
+        if not self._queue:
+            return True
+        frame = self._queue[0]
+        self.sent += 1
+        if rng.random() < self.link_delivery_p:
+            collector.receive(frame, now)
+            self.delivered += 1
+            self._queue.pop(0)
+            return True
+        return False
+
+    def transmit_with_retries(
+        self, rng: np.random.Generator, collector: "GatewayCollector", now: float
+    ) -> float:
+        """Blocking retry loop (used by the epoch driver); returns the time
+        consumed.  A report that exhausts its tries is abandoned."""
+        if not self._queue:
+            return 0.0
+        elapsed = 0.0
+        for attempt in range(self.config.max_tries):
+            elapsed += self.config.tx_delay_s
+            if self.try_transmit(rng, collector, now + elapsed):
+                return elapsed
+            elapsed += self.config.backoff_s
+        self._queue.pop(0)
+        self.dropped_retries += 1
+        return elapsed
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+
+@dataclass
+class GatewayCollector:
+    """Gateway side: frames in, per-round matrices out."""
+
+    n_motes: int
+    k: int
+    _rounds: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    _latency: list[float] = field(default_factory=list, repr=False)
+    _round_start: dict[int, float] = field(default_factory=dict, repr=False)
+
+    def expect_round(self, sequence: int, t_start: float) -> None:
+        self._round_start[sequence] = t_start
+
+    def receive(self, frame: ReportFrame, now: float) -> None:
+        seq = frame.sequence
+        if seq not in self._rounds:
+            self._rounds[seq] = np.full((self.k, self.n_motes), np.nan)
+        levels = np.asarray(frame.levels_db[: self.k])
+        self._rounds[seq][: len(levels), frame.mote_id] = levels
+        if seq in self._round_start:
+            self._latency.append(now - self._round_start[seq])
+
+    def round_matrix(self, sequence: int) -> np.ndarray:
+        """(k, n) matrix for the round; all-NaN if nothing arrived."""
+        return self._rounds.get(sequence, np.full((self.k, self.n_motes), np.nan)).copy()
+
+    @property
+    def mean_latency_s(self) -> float:
+        return float(np.mean(self._latency)) if self._latency else float("nan")
+
+    @property
+    def rounds_seen(self) -> int:
+        return len(self._rounds)
+
+
+def run_reporting_epoch(
+    motes: "list[MoteFirmware]",
+    level_fn,
+    n_rounds: int,
+    rng: "np.random.Generator | int | None" = None,
+    *,
+    collector: "GatewayCollector | None" = None,
+) -> GatewayCollector:
+    """Drive every mote's sample/report loop for *n_rounds* via the
+    event scheduler.
+
+    ``level_fn(mote_id, t) -> float`` supplies the sensed level at each
+    sample instant (the acoustic channel in the full testbed; anything in
+    tests).
+    """
+    if n_rounds < 1:
+        raise ValueError(f"need at least one round, got {n_rounds}")
+    if not motes:
+        raise ValueError("need at least one mote")
+    rng = ensure_rng(rng)
+    cfg = motes[0].config
+    if collector is None:
+        collector = GatewayCollector(n_motes=len(motes), k=cfg.k)
+    sched = EventScheduler()
+    round_period = cfg.k * cfg.sample_period_s
+    buffers: dict[int, list[float]] = {m.mote_id: [] for m in motes}
+
+    def sample(t: float, payload) -> None:
+        mote, idx = payload
+        buffers[mote.mote_id].append(level_fn(mote.mote_id, t))
+        if idx == cfg.k - 1:
+            mote.enqueue_round(buffers[mote.mote_id])
+            buffers[mote.mote_id].clear()
+            sched.schedule(t + 1e-6, report, mote)
+
+    def report(t: float, mote) -> None:
+        mote.transmit_with_retries(rng, collector, t)
+
+    for r in range(n_rounds):
+        t0 = r * round_period
+        collector.expect_round(r, t0)
+        for m in motes:
+            for i in range(cfg.k):
+                sched.schedule(t0 + i * cfg.sample_period_s, sample, (m, i))
+    sched.run()
+    return collector

@@ -1,0 +1,73 @@
+"""MIB520 gateway model.
+
+Motes radio their readings to the base station through the MIB520 USB
+interface board; radio frames are lost independently per report.  The
+gateway assembles per-round (k, n) level matrices — the exact input shape
+the FTTT stack consumes — with NaN for missing frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.testbed.motes import MoteReading
+
+__all__ = ["Mib520Gateway"]
+
+
+@dataclass
+class Mib520Gateway:
+    """Collects mote readings into grouping-sampling matrices.
+
+    Parameters
+    ----------
+    n_motes : number of deployed sensing motes.
+    frame_loss_p : independent probability that a reading's radio frame is
+        lost before reaching the gateway.
+    """
+
+    n_motes: int
+    frame_loss_p: float = 0.05
+    frames_received: int = field(default=0, repr=False)
+    frames_lost: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_motes < 2:
+            raise ValueError(f"need at least two motes, got {self.n_motes}")
+        if not (0.0 <= self.frame_loss_p <= 1.0):
+            raise ValueError(f"frame loss must be in [0, 1], got {self.frame_loss_p}")
+
+    def collect_round(
+        self,
+        readings: "list[list[MoteReading | None]]",
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Assemble one round's (k, n) level matrix from per-instant readings.
+
+        *readings* is a list of k sample instants, each a list over motes
+        (None for a mote that produced nothing).  Frame loss is applied
+        here, independently per reading.
+        """
+        k = len(readings)
+        if k < 1:
+            raise ValueError("need at least one sample instant")
+        matrix = np.full((k, self.n_motes), np.nan)
+        for row, instant in enumerate(readings):
+            for reading in instant:
+                if reading is None:
+                    continue
+                if not (0 <= reading.mote_id < self.n_motes):
+                    raise ValueError(f"mote id {reading.mote_id} out of range")
+                if self.frame_loss_p > 0.0 and rng.random() < self.frame_loss_p:
+                    self.frames_lost += 1
+                    continue
+                matrix[row, reading.mote_id] = reading.level_db
+                self.frames_received += 1
+        return matrix
+
+    @property
+    def loss_rate(self) -> float:
+        total = self.frames_received + self.frames_lost
+        return self.frames_lost / total if total else 0.0

@@ -1,0 +1,72 @@
+"""IRIS mote + MTS300 acoustic-board model.
+
+Each mote measures the received level of the target's 4 kHz tone through
+an ADC with finite resolution, plus a fixed per-mote calibration offset
+(microphone gain spread) — the hardware realities that make outdoor
+sensing "ultimately unreliable".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rf.acoustic import AcousticToneChannel
+
+__all__ = ["MoteReading", "IrisMote"]
+
+
+@dataclass(frozen=True)
+class MoteReading:
+    """One acoustic sample reported by a mote."""
+
+    mote_id: int
+    t: float
+    level_db: float
+
+
+@dataclass
+class IrisMote:
+    """A simulated IRIS mote with an MTS300 sensor board.
+
+    Parameters
+    ----------
+    mote_id : stable identity (pair enumeration orders by id).
+    position : (x, y) in metres.
+    adc_step_db : quantization step of the sound-level measurement; the
+        MTS300's microphone/ADC chain resolves on the order of half a dB
+        after the standard TinyOS integration window.
+    gain_offset_db : fixed calibration error of this mote's microphone.
+    failed : crashed motes return no readings.
+    """
+
+    mote_id: int
+    position: np.ndarray
+    adc_step_db: float = 0.5
+    gain_offset_db: float = 0.0
+    failed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mote_id < 0:
+            raise ValueError(f"mote_id must be non-negative, got {self.mote_id}")
+        if self.adc_step_db < 0:
+            raise ValueError(f"adc step must be non-negative, got {self.adc_step_db}")
+        self.position = np.asarray(self.position, dtype=float).reshape(2)
+
+    def sense(
+        self,
+        target_position: np.ndarray,
+        channel: AcousticToneChannel,
+        t: float,
+        rng: np.random.Generator,
+    ) -> "MoteReading | None":
+        """Measure the tone level; None when the mote is down."""
+        if self.failed:
+            return None
+        target = np.asarray(target_position, dtype=float).reshape(2)
+        distance = float(np.hypot(*(target - self.position)))
+        level = float(channel.observe(np.array([distance]), rng)[0]) + self.gain_offset_db
+        if self.adc_step_db > 0:
+            level = round(level / self.adc_step_db) * self.adc_step_db
+        return MoteReading(mote_id=self.mote_id, t=t, level_db=level)

@@ -1,0 +1,112 @@
+"""TinyOS-style report frames for the testbed radio path.
+
+The outdoor system's motes radio their readings to the MIB520 gateway as
+small frames.  This codec models that path at byte level: a fixed header
+(sync byte, mote id, sequence number, sample count), fixed-point payload
+of sound levels, and a CRC-16 trailer.  Channel bit errors corrupt frames;
+the gateway drops frames whose CRC fails — which is exactly where the
+frame-loss probability of :class:`~repro.testbed.gateway.Mib520Gateway`
+comes from physically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ReportFrame", "encode_frame", "decode_frame", "corrupt", "crc16"]
+
+SYNC_BYTE = 0x7E
+LEVEL_SCALE = 16.0  # fixed point: 1/16 dB resolution
+LEVEL_OFFSET = 128.0  # encode [-128, +128) dB range
+
+
+def crc16(data: bytes, poly: int = 0x1021, init: int = 0xFFFF) -> int:
+    """CRC-16-CCITT over *data* (the TinyOS serial stack's checksum)."""
+    crc = init
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ poly) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+@dataclass(frozen=True)
+class ReportFrame:
+    """One mote's report for one grouping sampling."""
+
+    mote_id: int
+    sequence: int
+    levels_db: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.mote_id <= 0xFF):
+            raise ValueError(f"mote id must fit a byte, got {self.mote_id}")
+        if not (0 <= self.sequence <= 0xFFFF):
+            raise ValueError(f"sequence must fit 16 bits, got {self.sequence}")
+        if not self.levels_db:
+            raise ValueError("frame needs at least one level")
+        if len(self.levels_db) > 0xFF:
+            raise ValueError("too many samples for one frame")
+
+
+def encode_frame(frame: ReportFrame) -> bytes:
+    """Serialize a report frame (header + fixed-point payload + CRC)."""
+    header = bytes(
+        [
+            SYNC_BYTE,
+            frame.mote_id,
+            (frame.sequence >> 8) & 0xFF,
+            frame.sequence & 0xFF,
+            len(frame.levels_db),
+        ]
+    )
+    payload = bytearray()
+    for level in frame.levels_db:
+        raw = int(round((level + LEVEL_OFFSET) * LEVEL_SCALE))
+        raw = max(0, min(raw, 0xFFFF))
+        payload += bytes([(raw >> 8) & 0xFF, raw & 0xFF])
+    body = header + bytes(payload)
+    checksum = crc16(body)
+    return body + bytes([(checksum >> 8) & 0xFF, checksum & 0xFF])
+
+
+def decode_frame(data: bytes) -> "ReportFrame | None":
+    """Parse a frame; None when the frame is malformed or fails its CRC."""
+    if len(data) < 7:  # header + at least CRC
+        return None
+    if data[0] != SYNC_BYTE:
+        return None
+    body, trailer = data[:-2], data[-2:]
+    if crc16(body) != (trailer[0] << 8 | trailer[1]):
+        return None
+    mote_id = data[1]
+    sequence = data[2] << 8 | data[3]
+    count = data[4]
+    expected_len = 5 + 2 * count + 2
+    if len(data) != expected_len:
+        return None
+    levels = []
+    for i in range(count):
+        hi, lo = data[5 + 2 * i], data[6 + 2 * i]
+        raw = hi << 8 | lo
+        levels.append(raw / LEVEL_SCALE - LEVEL_OFFSET)
+    return ReportFrame(mote_id=mote_id, sequence=sequence, levels_db=tuple(levels))
+
+
+def corrupt(data: bytes, bit_error_rate: float, rng: np.random.Generator) -> bytes:
+    """Flip each bit independently with probability *bit_error_rate*."""
+    if not (0.0 <= bit_error_rate <= 1.0):
+        raise ValueError(f"BER must be in [0, 1], got {bit_error_rate}")
+    if bit_error_rate == 0.0:
+        return data
+    arr = np.frombuffer(data, dtype=np.uint8).copy()
+    bits = rng.random((len(arr), 8)) < bit_error_rate
+    if bits.any():
+        masks = (bits * (1 << np.arange(8))).sum(axis=1).astype(np.uint8)
+        arr ^= masks
+    return arr.tobytes()

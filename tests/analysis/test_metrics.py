@@ -1,0 +1,79 @@
+"""Tests for repro.analysis.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    TrackingErrorSummary,
+    compare_trackers,
+    format_table,
+    summarize_errors,
+)
+from repro.core.tracker import TrackEstimate, TrackResult
+
+
+def make_result(errors):
+    """TrackResult whose per-round errors equal the given values."""
+    res = TrackResult()
+    for i, e in enumerate(errors):
+        est = TrackEstimate(
+            t=float(i),
+            position=np.array([float(e), 0.0]),
+            face_ids=np.array([0]),
+            sq_distance=0.0,
+            n_reporting=4,
+            visited_faces=1,
+        )
+        res.append(est, np.zeros(2))
+    return res
+
+
+class TestSummarize:
+    def test_from_array(self):
+        s = summarize_errors(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert s.n_rounds == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.max == pytest.approx(4.0)
+        assert s.rmse == pytest.approx(np.sqrt(7.5))
+
+    def test_from_track_result(self):
+        res = make_result([3.0, 4.0])
+        s = summarize_errors(res)
+        assert s.mean == pytest.approx(3.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize_errors(np.array([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            summarize_errors(np.zeros((2, 2)))
+
+    def test_row_matches_header(self):
+        s = summarize_errors(np.array([1.0, 2.0]))
+        assert len(s.row()) == len(TrackingErrorSummary.header())
+
+
+class TestCompare:
+    def test_multiple_trackers(self):
+        out = compare_trackers({"a": make_result([1.0]), "b": make_result([2.0, 4.0])})
+        assert out["a"].mean == pytest.approx(1.0)
+        assert out["b"].mean == pytest.approx(3.0)
+
+    def test_rejects_empty_mapping(self):
+        with pytest.raises(ValueError):
+            compare_trackers({})
+
+
+class TestFormatTable:
+    def test_contains_all_rows(self):
+        summaries = compare_trackers({"fttt": make_result([1.0]), "pm": make_result([2.0])})
+        text = format_table(summaries, title="demo")
+        assert "demo" in text
+        assert "fttt" in text and "pm" in text
+        assert "mean" in text
+
+    def test_accepts_plain_rows(self):
+        text = format_table({"x": [1.0, 2.0]}, header=["a", "b"])
+        assert "x" in text and "a" in text

@@ -1,0 +1,95 @@
+"""Tests for repro.analysis.sampling_times (§5.1, Appendix I)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sampling_times import (
+    all_flips_probability,
+    miss_probability,
+    required_sampling_times,
+    simulate_flip_capture,
+)
+
+
+class TestMissProbability:
+    def test_closed_form(self):
+        assert miss_probability(1) == 1.0
+        assert miss_probability(2) == 0.5
+        assert miss_probability(5) == pytest.approx(0.0625)
+
+    def test_decreasing_in_k(self):
+        fs = [miss_probability(k) for k in range(1, 10)]
+        assert all(a > b for a, b in zip(fs, fs[1:]))
+
+    def test_rejects_k_below_one(self):
+        with pytest.raises(ValueError):
+            miss_probability(0)
+
+
+class TestAllFlipsProbability:
+    def test_single_pair_base_case(self):
+        assert all_flips_probability(5, 1) == pytest.approx(1 - 0.0625)
+
+    def test_decreasing_in_n_pairs(self):
+        ps = [all_flips_probability(5, n) for n in (1, 5, 20, 100)]
+        assert all(a >= b for a, b in zip(ps, ps[1:]))
+
+    def test_increasing_in_k(self):
+        ps = [all_flips_probability(k, 50) for k in (3, 5, 9, 15)]
+        assert all(a < b for a, b in zip(ps, ps[1:]))
+
+    def test_rejects_zero_pairs(self):
+        with pytest.raises(ValueError):
+            all_flips_probability(5, 0)
+
+
+class TestRequiredSamplingTimes:
+    def test_paper_worked_example(self):
+        """20 sensors -> N = C(20,2) = 190 pairs; 99% confidence -> k = 16."""
+        assert required_sampling_times(190, 0.99) == 16
+
+    def test_satisfies_threshold(self):
+        for n_pairs in (1, 10, 190, 780):
+            for conf in (0.9, 0.99):
+                k = required_sampling_times(n_pairs, conf)
+                assert all_flips_probability(k, n_pairs) > conf
+                if k > 1:
+                    assert all_flips_probability(k - 1, n_pairs) <= conf
+
+    def test_logarithmic_growth(self):
+        """The paper's headline: even dense networks need few samples."""
+        k_small = required_sampling_times(10, 0.99)
+        k_huge = required_sampling_times(10_000, 0.99)
+        assert k_huge - k_small <= 12
+
+    def test_single_pair(self):
+        k = required_sampling_times(1, 0.9)
+        assert all_flips_probability(k, 1) > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_sampling_times(10, 1.0)
+        with pytest.raises(ValueError):
+            required_sampling_times(0, 0.9)
+
+
+class TestMonteCarlo:
+    def test_matches_closed_form_single_pair(self):
+        est = simulate_flip_capture(5, 1, n_trials=200_000, rng=0)
+        assert est == pytest.approx(all_flips_probability(5, 1), abs=0.005)
+
+    def test_matches_closed_form_many_pairs(self):
+        # independence across pairs: closed form (1-f)^N (the Appendix-I
+        # derivation's N-1 exponent is a loose upper variant; the MC truth
+        # for independent pairs is (1-f)^N, within a factor (1-f) of it)
+        k, n_pairs = 5, 20
+        est = simulate_flip_capture(k, n_pairs, n_trials=100_000, rng=1)
+        f = miss_probability(k)
+        assert (1 - f) ** n_pairs <= est + 0.01
+        assert est <= (1 - f) ** (n_pairs - 1) + 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_flip_capture(0, 1)
+        with pytest.raises(ValueError):
+            simulate_flip_capture(5, 1, n_trials=0)

@@ -1,0 +1,102 @@
+"""Tests for repro.baselines.sequences."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sequences import (
+    detection_sequence,
+    kendall_distance,
+    sign_vector_from_ranks,
+    sign_vector_from_rss,
+    spearman_footrule,
+)
+
+
+class TestDetectionSequence:
+    def test_descending_order(self):
+        seq = detection_sequence(np.array([-60.0, -40.0, -50.0]))
+        assert seq.tolist() == [1, 2, 0]
+
+    def test_nan_sorts_last(self):
+        seq = detection_sequence(np.array([-60.0, np.nan, -50.0]))
+        assert seq.tolist() == [2, 0, 1]
+
+    def test_stable_for_ties(self):
+        seq = detection_sequence(np.array([-50.0, -50.0, -40.0]))
+        assert seq.tolist() == [2, 0, 1]
+
+
+class TestSignVectorFromRss:
+    def test_one_shot_row(self):
+        v = sign_vector_from_rss(np.array([-40.0, -50.0, -45.0]))
+        # pairs (0,1), (0,2), (1,2)
+        assert v.tolist() == [1.0, 1.0, -1.0]
+
+    def test_group_mean_reduction(self):
+        rss = np.array([[-40.0, -50.0], [-48.0, -42.0]])
+        # means: -44 vs -46 -> node 0 louder
+        assert sign_vector_from_rss(rss, reduce="mean")[0] == 1.0
+
+    def test_group_last_reduction(self):
+        rss = np.array([[-40.0, -50.0], [-48.0, -42.0]])
+        assert sign_vector_from_rss(rss, reduce="last")[0] == -1.0
+
+    def test_silent_vs_reporting(self):
+        v = sign_vector_from_rss(np.array([np.nan, -50.0]))
+        assert v[0] == -1.0  # reporting node reads stronger
+
+    def test_both_silent_is_nan(self):
+        v = sign_vector_from_rss(np.array([np.nan, np.nan, -50.0]))
+        assert np.isnan(v[0])
+        assert v[1] == -1.0 and v[2] == -1.0
+
+    def test_unknown_reduce(self):
+        with pytest.raises(ValueError, match="reduce"):
+            sign_vector_from_rss(np.zeros((2, 3)), reduce="median")
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            sign_vector_from_rss(np.zeros((2, 2, 2)))
+
+
+class TestSignVectorFromRanks:
+    def test_consistent_with_rss_ordering(self):
+        rss = np.array([-40.0, -50.0, -45.0])
+        ranks = np.array([0, 2, 1])  # node 0 nearest
+        assert np.array_equal(
+            sign_vector_from_ranks(ranks), sign_vector_from_rss(rss)
+        )
+
+
+class TestRankCorrelations:
+    def test_kendall_identical_is_zero(self):
+        s = np.array([2, 0, 1, 3])
+        assert kendall_distance(s, s) == 0
+
+    def test_kendall_reversed_is_max(self):
+        s = np.arange(5)
+        assert kendall_distance(s, s[::-1]) == 10  # C(5,2)
+
+    def test_kendall_single_swap(self):
+        assert kendall_distance(np.array([0, 1, 2]), np.array([1, 0, 2])) == 1
+
+    def test_kendall_rejects_different_items(self):
+        with pytest.raises(ValueError, match="permutations"):
+            kendall_distance(np.array([0, 1]), np.array([1, 2]))
+
+    def test_footrule_identical_is_zero(self):
+        s = np.array([3, 1, 0, 2])
+        assert spearman_footrule(s, s) == 0
+
+    def test_footrule_single_swap(self):
+        assert spearman_footrule(np.array([0, 1, 2]), np.array([1, 0, 2])) == 2
+
+    def test_footrule_bounds_kendall(self):
+        # standard inequality: K <= F <= 2K
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            a = rng.permutation(6)
+            b = rng.permutation(6)
+            k = kendall_distance(a, b)
+            f = spearman_footrule(a, b)
+            assert k <= f <= 2 * k

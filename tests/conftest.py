@@ -1,0 +1,66 @@
+"""Shared fixtures.
+
+Small, fast worlds reused across the suite: a four-node square deployment
+(the paper's Fig. 3/5/7 setting), its uncertain and certain face maps, and
+deterministic RNGs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import GridConfig, SimulationConfig
+from repro.geometry.faces import build_certain_face_map, build_face_map
+from repro.geometry.grid import Grid
+from repro.rf.channel import RssChannel
+from repro.rf.noise import GaussianNoise
+from repro.rf.pathloss import LogDistancePathLoss
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def four_nodes() -> np.ndarray:
+    """Four sensors on a square — the paper's running example geometry."""
+    return np.array([[30.0, 30.0], [70.0, 30.0], [30.0, 70.0], [70.0, 70.0]])
+
+
+@pytest.fixture
+def small_grid() -> Grid:
+    return Grid.square(100.0, 2.0)
+
+
+@pytest.fixture
+def face_map(four_nodes, small_grid):
+    """Uncertain-boundary face map for the four-node square (C = 1.5)."""
+    return build_face_map(four_nodes, small_grid, c=1.5)
+
+
+@pytest.fixture
+def certain_map(four_nodes, small_grid):
+    """Bisector-only division of the same deployment."""
+    return build_certain_face_map(four_nodes, small_grid)
+
+
+@pytest.fixture
+def channel(four_nodes) -> RssChannel:
+    return RssChannel(
+        nodes=four_nodes,
+        pathloss=LogDistancePathLoss(exponent=4.0, p0_dbm=-40.0),
+        noise=GaussianNoise(3.0),
+        sensing_range_m=None,
+    )
+
+
+@pytest.fixture
+def fast_config() -> SimulationConfig:
+    """A short, coarse config for integration tests."""
+    return SimulationConfig(
+        n_sensors=8,
+        duration_s=10.0,
+        grid=GridConfig(cell_size_m=4.0),
+    )

@@ -1,0 +1,95 @@
+"""Tests for repro.geometry.adaptive — double-level grid division (ref [29])."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.adaptive import build_adaptive_face_map
+from repro.geometry.faces import build_face_map
+from repro.geometry.grid import Grid
+
+
+@pytest.fixture
+def nodes(four_nodes):
+    return four_nodes
+
+
+class TestEquivalence:
+    def test_signatures_match_flat_grid_exactly(self, nodes):
+        adaptive, _ = build_adaptive_face_map(
+            nodes, 100.0, 1.5, coarse_cell=8.0, refine_factor=4
+        )
+        flat = build_face_map(nodes, Grid.square(100.0, 2.0), 1.5)
+        per_cell_adaptive = adaptive.signatures[adaptive.cell_face]
+        per_cell_flat = flat.signatures[flat.cell_face]
+        assert np.array_equal(per_cell_adaptive, per_cell_flat)
+
+    def test_same_face_count(self, nodes):
+        adaptive, _ = build_adaptive_face_map(
+            nodes, 100.0, 1.5, coarse_cell=8.0, refine_factor=4
+        )
+        flat = build_face_map(nodes, Grid.square(100.0, 2.0), 1.5)
+        assert adaptive.n_faces == flat.n_faces
+
+    def test_sensing_range_respected(self, nodes):
+        adaptive, _ = build_adaptive_face_map(
+            nodes, 100.0, 1.5, coarse_cell=8.0, refine_factor=4, sensing_range=30.0
+        )
+        flat = build_face_map(nodes, Grid.square(100.0, 2.0), 1.5, sensing_range=30.0)
+        assert np.array_equal(
+            adaptive.signatures[adaptive.cell_face], flat.signatures[flat.cell_face]
+        )
+
+
+class TestStats:
+    def test_savings_positive_for_sparse_networks(self, nodes):
+        _, stats = build_adaptive_face_map(nodes, 100.0, 1.3, coarse_cell=4.0, refine_factor=4)
+        assert stats.classification_savings > 0.3
+        assert stats.uniform_cells + stats.refined_cells == stats.coarse_cells
+
+    def test_savings_shrink_with_density(self, rng):
+        from repro.network.deployment import random_deployment
+
+        sparse = random_deployment(4, 100.0, 1, min_separation=10.0)
+        dense = random_deployment(20, 100.0, 1, min_separation=4.0)
+        _, s_sparse = build_adaptive_face_map(sparse, 100.0, 1.8, coarse_cell=4.0)
+        _, s_dense = build_adaptive_face_map(dense, 100.0, 1.8, coarse_cell=4.0)
+        assert s_sparse.classification_savings > s_dense.classification_savings
+
+    def test_fine_cell_accounting(self, nodes):
+        _, stats = build_adaptive_face_map(nodes, 100.0, 1.5, coarse_cell=10.0, refine_factor=5)
+        assert stats.coarse_cells == 100  # (100/10)^2
+        assert stats.fine_cells_total == 2500  # (100/2)^2
+        assert 0 <= stats.fine_cells_classified <= stats.fine_cells_total
+
+
+class TestValidation:
+    def test_rejects_single_node(self):
+        with pytest.raises(ValueError, match="two nodes"):
+            build_adaptive_face_map(np.array([[5.0, 5.0]]), 100.0, 1.5)
+
+    def test_rejects_bad_refine_factor(self, nodes):
+        with pytest.raises(ValueError, match="refine_factor"):
+            build_adaptive_face_map(nodes, 100.0, 1.5, refine_factor=1)
+
+    def test_rejects_bad_coarse_cell(self, nodes):
+        with pytest.raises(ValueError, match="coarse_cell"):
+            build_adaptive_face_map(nodes, 100.0, 1.5, coarse_cell=0.0)
+
+
+class TestUsableByTracker:
+    def test_tracking_on_adaptive_map(self, nodes, rng):
+        from repro.core.tracker import FTTTracker
+        from repro.rf.channel import SampleBatch
+
+        fm, _ = build_adaptive_face_map(nodes, 100.0, 1.5, coarse_cell=8.0, refine_factor=4)
+        tracker = FTTTracker(fm, matcher="exhaustive", comparator_eps=40 * np.log10(1.5))
+        # NOTE: with only 4 nodes and wide bands, some signatures label
+        # *disconnected* symmetric regions (Lemma 1 is only approximate for
+        # uncertain boundaries); pick a point in a certain face
+        p = np.array([40.0, 55.0])
+        d = np.hypot(nodes[:, 0] - p[0], nodes[:, 1] - p[1])
+        rss = np.tile(-40.0 - 40.0 * np.log10(d), (3, 1))
+        batch = SampleBatch(rss=rss, times=np.arange(3.0), positions=np.tile(p, (3, 1)))
+        est = tracker.localize_batch(batch)
+        true_face = fm.face_of_point(p)
+        assert true_face in est.face_ids

@@ -1,0 +1,59 @@
+"""Tests for repro.geometry.bisector (certain-world classification)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.apollonius import classify_points_pairwise
+from repro.geometry.bisector import bisector_side, certain_signatures, rank_sequence_of_points
+
+
+class TestBisectorSide:
+    def test_sides_and_boundary(self):
+        p_i = np.array([0.0, 0.0])
+        p_j = np.array([10.0, 0.0])
+        pts = np.array([[2.0, 1.0], [8.0, -1.0], [5.0, 7.0]])
+        assert bisector_side(pts, p_i, p_j).tolist() == [1, -1, 0]
+
+    def test_antisymmetric_in_nodes(self, rng):
+        p_i = np.array([1.0, 2.0])
+        p_j = np.array([7.0, -3.0])
+        pts = rng.uniform(-10, 10, (50, 2))
+        assert np.array_equal(bisector_side(pts, p_i, p_j), -bisector_side(pts, p_j, p_i))
+
+
+class TestCertainSignatures:
+    def test_equals_apollonius_in_c_to_one_limit(self, four_nodes, rng):
+        pts = rng.uniform(0, 100, (100, 2))
+        certain = certain_signatures(pts, four_nodes)
+        limit = classify_points_pairwise(pts, four_nodes, 1.0)
+        assert np.array_equal(certain, limit)
+
+    def test_no_zeros_off_bisectors(self, four_nodes):
+        pts = np.array([[13.7, 21.9], [88.1, 3.3]])
+        sig = certain_signatures(pts, four_nodes)
+        assert np.all(sig != 0)
+
+    def test_encodes_total_order(self, four_nodes):
+        # signature must be consistent with the distance ranking
+        p = np.array([[40.0, 35.0]])
+        sig = certain_signatures(p, four_nodes)[0]
+        d = np.hypot(four_nodes[:, 0] - 40.0, four_nodes[:, 1] - 35.0)
+        idx = 0
+        n = len(four_nodes)
+        for i in range(n):
+            for j in range(i + 1, n):
+                expected = np.sign(d[j] - d[i])
+                assert sig[idx] == expected
+                idx += 1
+
+
+class TestRankSequence:
+    def test_rank_zero_is_nearest(self, four_nodes):
+        ranks = rank_sequence_of_points(np.array([[31.0, 29.0]]), four_nodes)[0]
+        assert ranks[0] == 0  # node at (30, 30) is nearest
+
+    def test_ranks_are_permutations(self, four_nodes, rng):
+        pts = rng.uniform(0, 100, (20, 2))
+        ranks = rank_sequence_of_points(pts, four_nodes)
+        for row in ranks:
+            assert sorted(row.tolist()) == list(range(len(four_nodes)))

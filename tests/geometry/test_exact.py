@@ -1,0 +1,101 @@
+"""Tests for repro.geometry.exact."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.exact import (
+    boundary_cell_fraction,
+    circle_intersections,
+    refine_face,
+)
+from repro.geometry.faces import build_face_map
+from repro.geometry.grid import Grid
+from repro.geometry.primitives import Circle
+
+
+class TestCircleIntersections:
+    def test_two_point_crossing(self):
+        a = Circle(0.0, 0.0, 5.0)
+        b = Circle(6.0, 0.0, 5.0)
+        pts = circle_intersections(a, b)
+        assert pts.shape == (2, 2)
+        for p in pts:
+            assert np.hypot(*(p - [0, 0])) == pytest.approx(5.0)
+            assert np.hypot(*(p - [6, 0])) == pytest.approx(5.0)
+
+    def test_external_tangency(self):
+        a = Circle(0.0, 0.0, 2.0)
+        b = Circle(5.0, 0.0, 3.0)
+        pts = circle_intersections(a, b)
+        assert pts.shape == (1, 2)
+        assert np.allclose(pts[0], [2.0, 0.0])
+
+    def test_internal_tangency(self):
+        a = Circle(0.0, 0.0, 5.0)
+        b = Circle(2.0, 0.0, 3.0)
+        pts = circle_intersections(a, b)
+        assert pts.shape == (1, 2)
+        assert np.allclose(pts[0], [5.0, 0.0])
+
+    def test_separate_circles(self):
+        assert circle_intersections(Circle(0, 0, 1), Circle(10, 0, 1)).shape == (0, 2)
+
+    def test_contained_circles(self):
+        assert circle_intersections(Circle(0, 0, 10), Circle(1, 0, 2)).shape == (0, 2)
+
+    def test_concentric(self):
+        assert circle_intersections(Circle(0, 0, 3), Circle(0, 0, 5)).shape == (0, 2)
+
+    def test_symmetric_in_arguments(self):
+        a = Circle(0.0, 0.0, 4.0)
+        b = Circle(3.0, 3.0, 4.0)
+        pa = circle_intersections(a, b)
+        pb = circle_intersections(b, a)
+        assert {tuple(np.round(p, 9)) for p in pa} == {tuple(np.round(p, 9)) for p in pb}
+
+
+class TestRefineFace:
+    @pytest.fixture
+    def fm(self, four_nodes):
+        return build_face_map(four_nodes, Grid.square(100.0, 4.0), 1.5)
+
+    def test_refinement_reduces_quantization(self, four_nodes):
+        coarse = build_face_map(four_nodes, Grid.square(100.0, 4.0), 1.5)
+        fine = build_face_map(four_nodes, Grid.square(100.0, 1.0), 1.5)
+        # pick a reasonably large coarse face and refine it
+        fid = int(np.argmax(coarse.cell_counts))
+        refined = refine_face(coarse, fid, factor=4)
+        # the refined centroid matches the fine-grid centroid of the same
+        # signature better than the coarse centroid does
+        sig = coarse.signatures[fid]
+        fine_match = np.flatnonzero(np.all(fine.signatures == sig[None, :], axis=1))
+        assert len(fine_match) == 1
+        truth = fine.centroids[fine_match[0]]
+        err_coarse = np.hypot(*(coarse.centroids[fid] - truth))
+        err_refined = np.hypot(*(refined.centroid - truth))
+        assert err_refined <= err_coarse + 0.3
+
+    def test_area_close_to_raster(self, fm):
+        fid = int(np.argmax(fm.cell_counts))
+        refined = refine_face(fm, fid, factor=4)
+        raster_area = fm.cell_counts[fid] * fm.grid.cell_size**2
+        assert refined.area_m2 == pytest.approx(raster_area, rel=0.35)
+        assert refined.n_fine_cells > 0
+
+    def test_validation(self, fm):
+        with pytest.raises(IndexError):
+            refine_face(fm, fm.n_faces)
+        with pytest.raises(ValueError):
+            refine_face(fm, 0, factor=1)
+
+
+class TestBoundaryCellFraction:
+    def test_fraction_in_unit_interval(self, four_nodes):
+        fm = build_face_map(four_nodes, Grid.square(100.0, 4.0), 1.5)
+        frac = boundary_cell_fraction(fm)
+        assert 0.0 < frac < 1.0
+
+    def test_finer_grid_smaller_fraction(self, four_nodes):
+        coarse = build_face_map(four_nodes, Grid.square(100.0, 5.0), 1.5)
+        fine = build_face_map(four_nodes, Grid.square(100.0, 1.0), 1.5)
+        assert boundary_cell_fraction(fine) < boundary_cell_fraction(coarse)

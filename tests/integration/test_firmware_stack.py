@@ -1,0 +1,78 @@
+"""Integration: mote firmware -> gateway collector -> FTTT, end to end.
+
+The deepest testbed path: motes run their sample/report state machines on
+the event scheduler, levels come from the acoustic channel, frames cross a
+lossy acknowledged link, the gateway assembles per-round matrices, and the
+unmodified FTTT stack tracks the walker from those matrices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tracker import FTTTracker
+from repro.geometry.apollonius import uncertainty_constant
+from repro.geometry.faces import build_face_map
+from repro.geometry.grid import Grid
+from repro.mobility.paths import l_shape_path
+from repro.network.deployment import cross_deployment
+from repro.rf.acoustic import AcousticToneChannel
+from repro.rf.channel import SampleBatch
+from repro.testbed.firmware import FirmwareConfig, MoteFirmware, run_reporting_epoch
+
+
+@pytest.fixture(scope="module")
+def world():
+    field = 40.0
+    positions = cross_deployment(field, arm_nodes=2)
+    channel = AcousticToneChannel(noise_sigma_db=3.0)
+    path = l_shape_path(field, speeds=2.0)
+    beta = channel.effective_pathloss_exponent(field / 4)
+    c = uncertainty_constant(0.5, beta, channel.noise_sigma_db)
+    fm = build_face_map(positions, Grid.square(field, 1.0), c)
+    return field, positions, channel, path, fm
+
+
+class TestFirmwareToTracker:
+    def run_stack(self, world, link_p, n_rounds=20, seed=0):
+        field, positions, channel, path, fm = world
+        cfg = FirmwareConfig(k=5, sample_period_s=0.1)
+        motes = [MoteFirmware(i, cfg, link_delivery_p=link_p) for i in range(len(positions))]
+        rng = np.random.default_rng(seed)
+
+        def level(mote_id, t):
+            target = path.position(np.array([t]))[0]
+            d = float(np.hypot(*(target - positions[mote_id])))
+            return float(channel.observe(np.array([d]), rng)[0])
+
+        collector = run_reporting_epoch(motes, level, n_rounds, rng=seed + 1)
+        tracker = FTTTracker(fm, matcher="heuristic")
+        period = cfg.k * cfg.sample_period_s
+        batches = []
+        for r in range(n_rounds):
+            rssm = collector.round_matrix(r)
+            times = r * period + np.arange(cfg.k) * cfg.sample_period_s
+            truth = path.position(times)
+            batches.append(SampleBatch(rss=rssm, times=times, positions=truth))
+        return tracker.track(batches), motes, collector
+
+    def test_reliable_links_track_the_walker(self, world):
+        result, motes, collector = self.run_stack(world, link_p=1.0)
+        assert collector.rounds_seen == 20
+        assert all(m.dropped_retries == 0 for m in motes)
+        assert result.mean_error < 10.0  # quarter of the 40 m playground
+
+    def test_lossy_links_still_track(self, world):
+        result, motes, collector = self.run_stack(world, link_p=0.7)
+        lost = sum(m.dropped_retries for m in motes)
+        assert lost > 0  # faults genuinely happened
+        assert np.isfinite(result.mean_error)
+        assert result.mean_error < 15.0
+
+    def test_loss_degrades_but_gracefully(self, world):
+        clean, _, _ = self.run_stack(world, link_p=1.0)
+        lossy, _, _ = self.run_stack(world, link_p=0.5)
+        assert lossy.mean_error < max(clean.mean_error * 4.0, 16.0)
+
+    def test_latency_reported(self, world):
+        _, _, collector = self.run_stack(world, link_p=0.9)
+        assert 0.0 < collector.mean_latency_s < 2.0

@@ -1,0 +1,87 @@
+"""Tests for repro.mobility.trace_io."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.base import MobilityModel
+from repro.mobility.trace_io import RecordedTrace, load_trace, record_model, save_trace
+from repro.mobility.waypoint import RandomWaypoint
+
+
+class TestRecordedTrace:
+    def test_interpolation(self):
+        tr = RecordedTrace(times=[0.0, 1.0, 2.0], points=[[0, 0], [10, 0], [10, 10]])
+        assert np.allclose(tr.position(np.array([0.5]))[0], [5, 0])
+        assert np.allclose(tr.position(np.array([1.5]))[0], [10, 5])
+
+    def test_clamping(self):
+        tr = RecordedTrace(times=[0.0, 1.0], points=[[0, 0], [10, 0]])
+        assert np.allclose(tr.position(np.array([-5.0]))[0], [0, 0])
+        assert np.allclose(tr.position(np.array([99.0]))[0], [10, 0])
+
+    def test_protocol(self):
+        tr = RecordedTrace(times=[0.0, 1.0], points=[[0, 0], [1, 1]])
+        assert isinstance(tr, MobilityModel)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecordedTrace(times=[0.0], points=[[0, 0]])
+        with pytest.raises(ValueError):
+            RecordedTrace(times=[0.0, 0.0], points=[[0, 0], [1, 1]])
+        with pytest.raises(ValueError):
+            RecordedTrace(times=[0.0, 1.0], points=[[0, 0]])
+
+
+class TestRecordModel:
+    def test_faithful_to_source(self):
+        model = RandomWaypoint(seed=5, duration_s=20.0)
+        trace = record_model(model, 20.0, sample_hz=20.0)
+        t = np.linspace(0.5, 19.5, 50)
+        assert np.allclose(trace.position(t), model.position(t), atol=0.2)
+
+    def test_duration(self):
+        model = RandomWaypoint(seed=5, duration_s=10.0)
+        trace = record_model(model, 10.0)
+        assert trace.duration_s == pytest.approx(10.0, abs=0.2)
+
+    def test_validation(self):
+        model = RandomWaypoint(seed=5)
+        with pytest.raises(ValueError):
+            record_model(model, 0.0)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        model = RandomWaypoint(seed=9, duration_s=15.0)
+        trace = record_model(model, 15.0, name="run9")
+        path = save_trace(trace, tmp_path / "runs" / "trace.csv")
+        loaded = load_trace(path)
+        assert np.allclose(loaded.times, trace.times, atol=1e-6)
+        assert np.allclose(loaded.points, trace.points, atol=1e-6)
+        assert loaded.name == "trace"
+
+    def test_named_load(self, tmp_path):
+        trace = RecordedTrace(times=[0.0, 1.0], points=[[0, 0], [1, 1]])
+        path = save_trace(trace, tmp_path / "t.csv")
+        assert load_trace(path, name="custom").name == "custom"
+
+    def test_bad_file_rejected(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="t,x,y"):
+            load_trace(p)
+
+    def test_replay_in_scenario(self, tmp_path, fast_config):
+        """A saved trace drives a tracking run identically to its source."""
+        from repro.sim.runner import run_tracking
+        from repro.sim.scenario import make_scenario
+
+        model = RandomWaypoint(seed=3, duration_s=10.0)
+        trace = record_model(model, 10.0, sample_hz=50.0)
+        path = save_trace(trace, tmp_path / "trace.csv")
+        loaded = load_trace(path)
+        s1 = make_scenario(fast_config, seed=1, mobility=model)
+        s2 = make_scenario(fast_config, seed=1, mobility=loaded)
+        r1 = run_tracking(s1, s1.make_tracker("fttt"), 2, n_rounds=6)
+        r2 = run_tracking(s2, s2.make_tracker("fttt"), 2, n_rounds=6)
+        assert np.allclose(r1.truth, r2.truth, atol=0.15)

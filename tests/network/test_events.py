@@ -1,0 +1,95 @@
+"""Tests for repro.network.events — the discrete-event scheduler."""
+
+import pytest
+
+from repro.network.events import EventScheduler
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(3.0, lambda t, p: fired.append(t))
+        sched.schedule(1.0, lambda t, p: fired.append(t))
+        sched.schedule(2.0, lambda t, p: fired.append(t))
+        sched.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_fifo_for_equal_times(self):
+        sched = EventScheduler()
+        fired = []
+        for tag in ("a", "b", "c"):
+            sched.schedule(1.0, lambda t, p: fired.append(p), payload=tag)
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_payload_delivery(self):
+        sched = EventScheduler()
+        got = []
+        sched.schedule(0.0, lambda t, p: got.append(p), payload={"x": 1})
+        sched.run()
+        assert got == [{"x": 1}]
+
+    def test_cannot_schedule_in_past(self):
+        sched = EventScheduler()
+        sched.schedule(1.0, lambda t, p: None)
+        sched.step()
+        with pytest.raises(ValueError, match="before current time"):
+            sched.schedule(0.5, lambda t, p: None)
+
+    def test_now_tracks_last_event(self):
+        sched = EventScheduler()
+        sched.schedule(2.5, lambda t, p: None)
+        sched.run()
+        assert sched.now == 2.5
+
+    def test_step_on_empty_returns_none(self):
+        assert EventScheduler().step() is None
+
+
+class TestRunUntil:
+    def test_partial_processing(self):
+        sched = EventScheduler()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sched.schedule(t, lambda tt, p: fired.append(tt))
+        n = sched.run_until(2.0)
+        assert n == 2
+        assert fired == [1.0, 2.0]
+        assert sched.pending == 1
+        assert sched.now == 2.0
+
+    def test_events_scheduled_during_run(self):
+        sched = EventScheduler()
+        fired = []
+
+        def chain(t, p):
+            fired.append(t)
+            if t < 3:
+                sched.schedule(t + 1, chain)
+
+        sched.schedule(1.0, chain)
+        sched.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestPeriodic:
+    def test_periodic_count_and_spacing(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule_periodic(0.0, 0.5, 4, lambda t, p: fired.append(t))
+        sched.run()
+        assert fired == [0.0, 0.5, 1.0, 1.5]
+
+    def test_periodic_validation(self):
+        sched = EventScheduler()
+        with pytest.raises(ValueError):
+            sched.schedule_periodic(0.0, 0.0, 3, lambda t, p: None)
+        with pytest.raises(ValueError):
+            sched.schedule_periodic(0.0, 1.0, -1, lambda t, p: None)
+
+    def test_processed_counter(self):
+        sched = EventScheduler()
+        sched.schedule_periodic(0.0, 1.0, 5, lambda t, p: None)
+        sched.run()
+        assert sched.processed == 5

@@ -1,0 +1,108 @@
+"""Tests for repro.network.faults."""
+
+import numpy as np
+import pytest
+
+from repro.network.faults import (
+    CompositeFaults,
+    CrashFailures,
+    FaultModel,
+    IndependentDropout,
+    IntermittentFaults,
+    NoFaults,
+)
+
+
+class TestNoFaults:
+    def test_never_drops(self, rng):
+        m = NoFaults()
+        for r in range(5):
+            assert not m.drop_mask(10, r, rng).any()
+
+    def test_protocol(self):
+        assert isinstance(NoFaults(), FaultModel)
+
+
+class TestIndependentDropout:
+    def test_rate_matches_p(self, rng):
+        m = IndependentDropout(p=0.3)
+        drops = np.concatenate([m.drop_mask(1000, r, rng) for r in range(20)])
+        assert drops.mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_zero_p_never_drops(self, rng):
+        assert not IndependentDropout(p=0.0).drop_mask(50, 0, rng).any()
+
+    def test_one_p_always_drops(self, rng):
+        assert IndependentDropout(p=1.0).drop_mask(50, 0, rng).all()
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            IndependentDropout(p=1.5)
+
+
+class TestCrashFailures:
+    def test_crashes_are_permanent(self, rng):
+        m = CrashFailures(crash_fraction=0.5, horizon_rounds=10)
+        masks = [m.drop_mask(20, r, rng) for r in range(30)]
+        stacked = np.stack(masks)
+        # once dropped, always dropped
+        for col in range(20):
+            series = stacked[:, col]
+            if series.any():
+                first = int(np.argmax(series))
+                assert series[first:].all()
+
+    def test_fraction_respected(self, rng):
+        m = CrashFailures(crash_fraction=0.25, horizon_rounds=5)
+        final = m.drop_mask(40, 10_000, rng)
+        assert final.sum() == 10
+
+    def test_zero_fraction_never_crashes(self, rng):
+        m = CrashFailures(crash_fraction=0.0)
+        assert not m.drop_mask(20, 10_000, rng).any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrashFailures(crash_fraction=2.0)
+        with pytest.raises(ValueError):
+            CrashFailures(horizon_rounds=0)
+
+
+class TestIntermittentFaults:
+    def test_recovers(self, rng):
+        m = IntermittentFaults(p_fail=0.5, p_recover=0.9)
+        drops = np.stack([m.drop_mask(200, r, rng) for r in range(50)])
+        # with high recovery, faults do not accumulate
+        assert drops[-1].mean() < 0.6
+
+    def test_steady_state_rate(self, rng):
+        # Gilbert-Elliott stationary fault probability = pf / (pf + pr)
+        pf, pr = 0.1, 0.3
+        m = IntermittentFaults(p_fail=pf, p_recover=pr)
+        drops = np.stack([m.drop_mask(500, r, rng) for r in range(400)])
+        steady = drops[100:].mean()
+        assert steady == pytest.approx(pf / (pf + pr), abs=0.03)
+
+    def test_no_failures_with_zero_pfail(self, rng):
+        m = IntermittentFaults(p_fail=0.0, p_recover=0.5)
+        assert not np.stack([m.drop_mask(50, r, rng) for r in range(10)]).any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntermittentFaults(p_fail=-0.1)
+
+
+class TestCompositeFaults:
+    def test_union_semantics(self, rng):
+        always_first = IndependentDropout(p=0.0)
+        m = CompositeFaults(models=(always_first, IndependentDropout(p=1.0)))
+        assert m.drop_mask(10, 0, rng).all()
+
+    def test_empty_composite_never_drops(self, rng):
+        assert not CompositeFaults().drop_mask(10, 0, rng).any()
+
+    def test_combines_crash_and_dropout(self, rng):
+        crash = CrashFailures(crash_fraction=0.5, horizon_rounds=1)
+        m = CompositeFaults(models=(crash, IndependentDropout(p=0.0)))
+        late = m.drop_mask(10, 100, rng)
+        assert late.sum() == 5

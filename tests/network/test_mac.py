@@ -1,0 +1,95 @@
+"""Tests for repro.network.mac — slotted contention uplink."""
+
+import numpy as np
+import pytest
+
+from repro.network.faults import FaultModel
+from repro.network.mac import SlottedContentionMac
+
+
+class TestContention:
+    def test_single_sensor_always_delivers(self, rng):
+        mac = SlottedContentionMac(n_slots=8)
+        stats = mac.contend(np.array([True]), rng)
+        assert stats.delivered[0]
+        assert stats.collisions == 0
+
+    def test_nonreporting_sensors_ignored(self, rng):
+        mac = SlottedContentionMac(n_slots=8)
+        stats = mac.contend(np.array([True, False, True]), rng)
+        assert not stats.delivered[1]
+        assert np.isnan(stats.delay_slots[1])
+
+    def test_light_load_high_delivery(self, rng):
+        mac = SlottedContentionMac(n_slots=32, max_retries=3)
+        rates = [mac.contend(np.ones(4, dtype=bool), rng).delivery_rate for _ in range(200)]
+        assert np.mean(rates) > 0.98
+
+    def test_overload_drops_reports(self, rng):
+        mac = SlottedContentionMac(n_slots=4, max_retries=0)
+        rates = [mac.contend(np.ones(16, dtype=bool), rng).delivery_rate for _ in range(200)]
+        assert np.mean(rates) < 0.5
+
+    def test_retries_improve_delivery(self, rng):
+        no_retry = SlottedContentionMac(n_slots=8, max_retries=0)
+        retry = SlottedContentionMac(n_slots=8, max_retries=3)
+        r0 = np.mean([no_retry.contend(np.ones(8, dtype=bool), rng).delivery_rate for _ in range(300)])
+        r3 = np.mean([retry.contend(np.ones(8, dtype=bool), rng).delivery_rate for _ in range(300)])
+        assert r3 > r0
+
+    def test_delay_grows_with_retry_round(self, rng):
+        mac = SlottedContentionMac(n_slots=4, max_retries=4)
+        stats = mac.contend(np.ones(8, dtype=bool), rng)
+        delivered_delays = stats.delay_slots[stats.delivered]
+        assert delivered_delays.max() >= mac.n_slots or len(delivered_delays) <= 4
+
+    def test_empty_round(self, rng):
+        mac = SlottedContentionMac()
+        stats = mac.contend(np.zeros(5, dtype=bool), rng)
+        assert stats.delivery_rate == 0.0
+        assert np.isnan(stats.mean_delay_slots)
+
+
+class TestAnalytic:
+    def test_expected_rate_matches_simulation(self, rng):
+        mac = SlottedContentionMac(n_slots=16, max_retries=2)
+        m = 10
+        sim = np.mean(
+            [mac.contend(np.ones(m, dtype=bool), rng).delivery_rate for _ in range(2000)]
+        )
+        assert mac.expected_delivery_rate(m) == pytest.approx(sim, abs=0.05)
+
+    def test_rate_decreases_with_load(self):
+        mac = SlottedContentionMac(n_slots=16, max_retries=1)
+        rates = [mac.expected_delivery_rate(m) for m in (2, 8, 32, 64)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_zero_reporting(self):
+        assert SlottedContentionMac().expected_delivery_rate(0) == 1.0
+
+
+class TestFaultModelAdapter:
+    def test_protocol(self):
+        assert isinstance(SlottedContentionMac(), FaultModel)
+
+    def test_drop_mask_shape(self, rng):
+        mask = SlottedContentionMac(n_slots=8).drop_mask(12, 0, rng)
+        assert mask.shape == (12,)
+        assert mask.dtype == bool
+
+    def test_usable_in_tracking_run(self, fast_config):
+        from repro.sim.runner import run_tracking
+        from repro.sim.scenario import make_scenario
+
+        scenario = make_scenario(fast_config, seed=1)
+        tracker = scenario.make_tracker("fttt")
+        res = run_tracking(
+            scenario, tracker, 2, faults=SlottedContentionMac(n_slots=4, max_retries=0), n_rounds=6
+        )
+        assert len(res) == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlottedContentionMac(n_slots=0)
+        with pytest.raises(ValueError):
+            SlottedContentionMac(max_retries=-1)

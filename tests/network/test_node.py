@@ -1,0 +1,72 @@
+"""Tests for repro.network.node."""
+
+import numpy as np
+import pytest
+
+from repro.network.node import NodeState, SensorNode, positions_of
+
+
+class TestSensorNode:
+    def test_construction(self):
+        n = SensorNode(0, np.array([1.0, 2.0]))
+        assert n.node_id == 0
+        assert np.allclose(n.position, [1.0, 2.0])
+        assert n.state is NodeState.ACTIVE
+        assert n.is_reporting
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            SensorNode(-1, np.zeros(2))
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(ValueError):
+            SensorNode(0, np.zeros(2), energy_j=-1.0)
+
+    def test_charge_sampling_consumes_energy(self):
+        n = SensorNode(0, np.zeros(2), energy_j=1.0, sample_cost_j=0.1, report_cost_j=0.2)
+        n.charge_sampling(3)
+        assert n.energy_j == pytest.approx(0.5)
+        assert n.samples_taken == 3
+        assert n.reports_sent == 1
+
+    def test_energy_exhaustion_fails_node(self):
+        n = SensorNode(0, np.zeros(2), energy_j=0.1, sample_cost_j=0.1, report_cost_j=0.2)
+        n.charge_sampling(5)
+        assert n.energy_j == 0.0
+        assert n.state is NodeState.FAILED
+        assert not n.is_reporting
+
+    def test_sleep_wake_cycle(self):
+        n = SensorNode(0, np.zeros(2))
+        n.sleep()
+        assert n.state is NodeState.SLEEPING
+        assert not n.is_reporting
+        n.wake()
+        assert n.state is NodeState.ACTIVE
+
+    def test_failed_node_cannot_wake(self):
+        n = SensorNode(0, np.zeros(2))
+        n.fail()
+        n.wake()
+        assert n.state is NodeState.FAILED
+
+    def test_failed_node_cannot_sleep(self):
+        n = SensorNode(0, np.zeros(2))
+        n.fail()
+        n.sleep()
+        assert n.state is NodeState.FAILED
+
+    def test_charge_rejects_negative_k(self):
+        n = SensorNode(0, np.zeros(2))
+        with pytest.raises(ValueError):
+            n.charge_sampling(-1)
+
+
+class TestPositionsOf:
+    def test_stacks_in_order(self):
+        nodes = [SensorNode(i, np.array([float(i), 0.0])) for i in range(3)]
+        pts = positions_of(nodes)
+        assert np.allclose(pts[:, 0], [0, 1, 2])
+
+    def test_empty_list(self):
+        assert positions_of([]).shape == (0, 2)

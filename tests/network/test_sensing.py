@@ -1,0 +1,96 @@
+"""Tests for repro.network.sensing — the grouping-sampling driver."""
+
+import numpy as np
+import pytest
+
+from repro.network.sensing import GroupSampler
+from repro.rf.channel import RssChannel
+from repro.rf.noise import NoNoise
+from repro.rf.pathloss import LogDistancePathLoss
+
+
+@pytest.fixture
+def sampler(four_nodes):
+    channel = RssChannel(
+        nodes=four_nodes,
+        pathloss=LogDistancePathLoss(exponent=4.0, p0_dbm=-40.0),
+        noise=NoNoise(),
+        sensing_range_m=None,
+    )
+    return GroupSampler(channel=channel, k=5, sampling_rate_hz=10.0)
+
+
+def linear_path(times):
+    times = np.atleast_1d(np.asarray(times, dtype=float))
+    return np.column_stack([10.0 + 2.0 * times, np.full_like(times, 50.0)])
+
+
+class TestGroupSampler:
+    def test_group_duration(self, sampler):
+        assert sampler.group_duration_s == pytest.approx(0.5)
+
+    def test_sample_group_shapes(self, sampler, rng):
+        batch = sampler.sample_group(linear_path, 1.0, rng)
+        assert batch.rss.shape == (5, 4)
+        assert np.allclose(batch.times, 1.0 + np.arange(5) / 10.0)
+
+    def test_positions_track_the_path(self, sampler, rng):
+        batch = sampler.sample_group(linear_path, 0.0, rng)
+        assert np.allclose(batch.positions, linear_path(batch.times))
+
+    def test_moving_target_changes_rss(self, sampler, rng):
+        batch = sampler.sample_group(linear_path, 0.0, rng)
+        # noiseless channel, moving target: consecutive samples differ
+        assert not np.allclose(batch.rss[0], batch.rss[-1])
+
+    def test_static_target_constant_rss(self, sampler, rng):
+        batch = sampler.sample_static(np.array([33.0, 44.0]), rng)
+        assert np.allclose(batch.rss, batch.rss[0][None, :])
+
+    def test_drop_mask_applied(self, sampler, rng):
+        batch = sampler.sample_group(
+            linear_path, 0.0, rng, drop_mask=np.array([True, False, False, False])
+        )
+        assert np.isnan(batch.rss[:, 0]).all()
+
+    def test_clock_jitter_changes_observations(self, four_nodes):
+        channel = RssChannel(
+            nodes=four_nodes,
+            pathloss=LogDistancePathLoss(),
+            noise=NoNoise(),
+            sensing_range_m=None,
+        )
+        sync = GroupSampler(channel=channel, k=3, sampling_rate_hz=10.0, clock_jitter_s=0.0)
+        jit = GroupSampler(channel=channel, k=3, sampling_rate_hz=10.0, clock_jitter_s=0.05)
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        b_sync = sync.sample_group(linear_path, 0.0, rng1)
+        b_jit = jit.sample_group(linear_path, 0.0, rng2)
+        assert not np.allclose(b_sync.rss, b_jit.rss)
+        # nominal positions are reported identically
+        assert np.allclose(b_sync.positions, b_jit.positions)
+
+    def test_jitter_respects_drop_mask(self, four_nodes, rng):
+        channel = RssChannel(nodes=four_nodes, noise=NoNoise(), sensing_range_m=None)
+        jit = GroupSampler(channel=channel, k=3, clock_jitter_s=0.05)
+        batch = jit.sample_group(linear_path, 0.0, rng, drop_mask=np.array([False, True, False, False]))
+        assert np.isnan(batch.rss[:, 1]).all()
+
+    def test_jitter_respects_sensing_range(self, four_nodes, rng):
+        channel = RssChannel(nodes=four_nodes, noise=NoNoise(), sensing_range_m=10.0)
+        jit = GroupSampler(channel=channel, k=3, clock_jitter_s=0.05)
+        batch = jit.sample_group(lambda t: np.column_stack([np.full(len(np.atleast_1d(t)), 30.0), np.full(len(np.atleast_1d(t)), 30.0)]), 0.0, rng)
+        # only the co-located node (30,30) is within 10 m
+        assert not np.isnan(batch.rss[:, 0]).any()
+        assert np.isnan(batch.rss[:, 1:]).all()
+
+    def test_bad_path_fn_rejected(self, sampler, rng):
+        with pytest.raises(ValueError, match="path_fn"):
+            sampler.sample_group(lambda t: np.zeros((1, 2)), 0.0, rng)
+
+    def test_validation(self, sampler):
+        with pytest.raises(ValueError):
+            GroupSampler(channel=sampler.channel, k=0)
+        with pytest.raises(ValueError):
+            GroupSampler(channel=sampler.channel, sampling_rate_hz=0.0)
+        with pytest.raises(ValueError):
+            GroupSampler(channel=sampler.channel, clock_jitter_s=-0.1)

@@ -1,0 +1,98 @@
+"""Tests for repro.network.sync — clock synchronization substrate."""
+
+import numpy as np
+import pytest
+
+from repro.network.sync import ClockEnsemble, NodeClock, ReferenceBroadcastSync
+
+
+class TestNodeClock:
+    def test_perfect_clock(self):
+        c = NodeClock()
+        assert c.local_time(100.0) == 100.0
+        assert c.true_to_local_delta(100.0) == 0.0
+
+    def test_offset(self):
+        c = NodeClock(offset_s=0.5)
+        assert c.local_time(10.0) == pytest.approx(10.5)
+
+    def test_drift_grows_with_time(self):
+        c = NodeClock(drift_ppm=100.0)
+        assert c.true_to_local_delta(0.0) == 0.0
+        assert c.true_to_local_delta(10_000.0) == pytest.approx(1.0)
+
+
+class TestClockEnsemble:
+    def test_random_ensemble_has_spread(self):
+        ens = ClockEnsemble.random(10, 0)
+        assert ens.residual_jitter(0.0) > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ClockEnsemble([])
+
+    def test_jitter_grows_with_drift(self):
+        ens = ClockEnsemble.random(10, 0, offset_sigma_s=0.0, drift_sigma_ppm=50.0)
+        assert ens.residual_jitter(10_000.0) > ens.residual_jitter(100.0)
+
+
+class TestReferenceBroadcastSync:
+    def test_round_reduces_jitter(self):
+        ens = ClockEnsemble.random(20, 1, offset_sigma_s=0.1)
+        before = ens.residual_jitter(0.0)
+        sync = ReferenceBroadcastSync(timestamp_sigma_s=1e-3)
+        after = sync.run_round(ens, 0.0, 2)
+        assert after < before / 10
+
+    def test_residual_is_timestamping_noise_scale(self):
+        ens = ClockEnsemble.random(50, 3, offset_sigma_s=0.2)
+        sync = ReferenceBroadcastSync(timestamp_sigma_s=2e-3)
+        after = sync.run_round(ens, 0.0, 4)
+        # peak-to-peak of 50 draws at sigma = 2 ms is a few sigmas
+        assert after < 10 * 2e-3
+
+    def test_perfect_timestamps_perfect_sync(self):
+        ens = ClockEnsemble.random(10, 5, offset_sigma_s=0.1, drift_sigma_ppm=0.0)
+        sync = ReferenceBroadcastSync(timestamp_sigma_s=0.0)
+        after = sync.run_round(ens, 0.0, 6)
+        assert after == pytest.approx(0.0, abs=1e-12)
+
+    def test_drift_reopens_the_gap(self):
+        ens = ClockEnsemble.random(10, 7, offset_sigma_s=0.05, drift_sigma_ppm=50.0)
+        sync = ReferenceBroadcastSync(timestamp_sigma_s=0.0)
+        sync.run_round(ens, 0.0, 8)
+        assert ens.residual_jitter(0.0) == pytest.approx(0.0, abs=1e-12)
+        assert ens.residual_jitter(3600.0) > 1e-5
+
+    def test_recommended_resync_period(self):
+        ens = ClockEnsemble.random(10, 9, drift_sigma_ppm=50.0)
+        sync = ReferenceBroadcastSync()
+        period = sync.recommended_resync_period(ens, jitter_budget_s=1e-3)
+        assert period > 0
+        # after that period, drift alone stays within budget
+        sync_perfect = ReferenceBroadcastSync(timestamp_sigma_s=0.0)
+        sync_perfect.run_round(ens, 0.0, 10)
+        assert ens.residual_jitter(min(period, 1e7)) <= 1e-3 * 1.01
+
+    def test_budget_validation(self):
+        ens = ClockEnsemble.random(5, 0)
+        with pytest.raises(ValueError):
+            ReferenceBroadcastSync().recommended_resync_period(ens, 0.0)
+
+    def test_sigma_validation(self):
+        with pytest.raises(ValueError):
+            ReferenceBroadcastSync(timestamp_sigma_s=-1.0)
+
+    def test_feeds_group_sampler(self, four_nodes):
+        """The post-sync residual is a valid GroupSampler jitter setting."""
+        from repro.network.sensing import GroupSampler
+        from repro.rf.channel import RssChannel
+        from repro.rf.noise import NoNoise
+
+        ens = ClockEnsemble.random(4, 11)
+        sync = ReferenceBroadcastSync()
+        residual = sync.run_round(ens, 0.0, 12)
+        channel = RssChannel(nodes=four_nodes, noise=NoNoise(), sensing_range_m=None)
+        sampler = GroupSampler(channel=channel, k=3, clock_jitter_s=residual)
+        batch = sampler.sample_static(np.array([50.0, 50.0]), np.random.default_rng(13))
+        assert batch.rss.shape == (3, 4)

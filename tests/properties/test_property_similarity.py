@@ -1,0 +1,67 @@
+"""Property-based tests for the similarity layer (Definitions 7/8, Eq. 7)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.similarity import similarity, sq_distance, vector_difference
+
+trit_vectors = hnp.arrays(
+    dtype=np.float64, shape=st.integers(1, 40), elements=st.sampled_from([-1.0, 0.0, 1.0])
+)
+
+
+@st.composite
+def vector_pairs(draw):
+    n = draw(st.integers(1, 30))
+    elems = st.one_of(st.sampled_from([-1.0, 0.0, 1.0]), st.just(np.nan))
+    v1 = draw(hnp.arrays(dtype=np.float64, shape=n, elements=elems))
+    v2 = draw(hnp.arrays(dtype=np.float64, shape=n, elements=elems))
+    return v1, v2
+
+
+@given(vector_pairs())
+@settings(max_examples=150, deadline=None)
+def test_symmetry(pair):
+    v1, v2 = pair
+    assert sq_distance(v1, v2) == sq_distance(v2, v1)
+
+
+@given(trit_vectors)
+@settings(max_examples=100, deadline=None)
+def test_self_similarity_infinite(v):
+    assert similarity(v, v) == float("inf")
+
+
+@given(vector_pairs())
+@settings(max_examples=150, deadline=None)
+def test_masked_difference_zero_where_nan(pair):
+    v1, v2 = pair
+    d = vector_difference(v1, v2)
+    nan_mask = np.isnan(v1) | np.isnan(v2)
+    assert np.all(d[nan_mask] == 0.0)
+    assert not np.isnan(d).any()
+
+
+@given(vector_pairs())
+@settings(max_examples=150, deadline=None)
+def test_masking_never_increases_distance(pair):
+    """Replacing a component with * can only shrink the distance."""
+    v1, v2 = pair
+    base = sq_distance(v1, v2)
+    v1_masked = v1.copy()
+    v1_masked[0] = np.nan
+    assert sq_distance(v1_masked, v2) <= base + 1e-12
+
+
+@given(trit_vectors, st.integers(0, 39))
+@settings(max_examples=100, deadline=None)
+def test_triangle_like_monotonicity(v, idx):
+    """Perturbing one component strictly decreases similarity (or stays
+    infinite only when nothing changed)."""
+    if idx >= len(v):
+        idx = idx % len(v)
+    v2 = v.copy()
+    v2[idx] += 1.0
+    assert sq_distance(v, v2) == 1.0

@@ -1,0 +1,70 @@
+"""Tests for repro.rf.acoustic — the testbed's tone channel."""
+
+import numpy as np
+import pytest
+
+from repro.rf.acoustic import AcousticToneChannel, atmospheric_absorption_db_per_m
+
+
+class TestAbsorption:
+    def test_positive(self):
+        assert atmospheric_absorption_db_per_m(4000.0) > 0
+
+    def test_grows_with_frequency(self):
+        a1 = atmospheric_absorption_db_per_m(1000.0)
+        a4 = atmospheric_absorption_db_per_m(4000.0)
+        assert a4 > a1
+
+    def test_order_of_magnitude_at_4khz(self):
+        # literature: ~0.01-0.05 dB/m at 4 kHz in temperate air
+        a = atmospheric_absorption_db_per_m(4000.0)
+        assert 0.005 < a < 0.1
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            atmospheric_absorption_db_per_m(0.0)
+
+
+class TestToneChannel:
+    def test_reference_level(self):
+        ch = AcousticToneChannel(l0_db=90.0, noise_sigma_db=0.0)
+        assert ch.level_db(np.array([1.0]))[0] == pytest.approx(90.0, abs=ch.absorption_db_per_m)
+
+    def test_spherical_spreading_dominates_close(self):
+        ch = AcousticToneChannel(noise_sigma_db=0.0)
+        l1 = ch.level_db(np.array([1.0]))[0]
+        l10 = ch.level_db(np.array([10.0]))[0]
+        # 20 dB/decade spreading plus a little absorption
+        assert 19.0 < l1 - l10 < 22.0
+
+    def test_monotone_decreasing(self):
+        ch = AcousticToneChannel(noise_sigma_db=0.0)
+        levels = ch.level_db(np.linspace(1, 100, 50))
+        assert np.all(np.diff(levels) < 0)
+
+    def test_observe_adds_noise(self, rng):
+        ch = AcousticToneChannel(noise_sigma_db=4.0)
+        d = np.full(10_000, 20.0)
+        obs = ch.observe(d, rng)
+        assert obs.std() == pytest.approx(4.0, rel=0.05)
+
+    def test_observe_noiseless(self, rng):
+        ch = AcousticToneChannel(noise_sigma_db=0.0)
+        d = np.array([5.0, 10.0])
+        assert np.allclose(ch.observe(d, rng), ch.level_db(d))
+
+    def test_effective_exponent_at_least_spherical(self):
+        ch = AcousticToneChannel()
+        assert ch.effective_pathloss_exponent(1.0) >= 2.0
+
+    def test_effective_exponent_grows_with_distance(self):
+        ch = AcousticToneChannel()
+        assert ch.effective_pathloss_exponent(50.0) > ch.effective_pathloss_exponent(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AcousticToneChannel(noise_sigma_db=-1.0)
+        with pytest.raises(ValueError):
+            AcousticToneChannel(frequency_hz=0.0)
+        with pytest.raises(ValueError):
+            AcousticToneChannel(d0=0.0)

@@ -1,0 +1,78 @@
+"""Tests for repro.rf.noise."""
+
+import numpy as np
+import pytest
+
+from repro.rf.noise import GaussianNoise, MixtureNoise, NoNoise, NoiseModel, StudentTNoise
+
+
+class TestGaussianNoise:
+    def test_shape(self, rng):
+        n = GaussianNoise(6.0)
+        assert n.sample((5, 3), rng).shape == (5, 3)
+
+    def test_moments(self, rng):
+        n = GaussianNoise(6.0)
+        x = n.sample((200_000,), rng)
+        assert abs(x.mean()) < 0.1
+        assert x.std() == pytest.approx(6.0, rel=0.02)
+
+    def test_zero_sigma_is_deterministic(self, rng):
+        n = GaussianNoise(0.0)
+        assert np.all(n.sample((10,), rng) == 0.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(-1.0)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(GaussianNoise(1.0), NoiseModel)
+
+
+class TestNoNoise:
+    def test_always_zero(self, rng):
+        assert np.all(NoNoise().sample((4, 4), rng) == 0.0)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(NoNoise(), NoiseModel)
+
+
+class TestStudentT:
+    def test_std_matches_sigma(self, rng):
+        n = StudentTNoise(sigma_dbm=6.0, dof=5.0)
+        x = n.sample((400_000,), rng)
+        assert x.std() == pytest.approx(6.0, rel=0.05)
+
+    def test_heavier_tails_than_gaussian(self, rng):
+        t = StudentTNoise(sigma_dbm=6.0, dof=3.0).sample((200_000,), rng)
+        g = GaussianNoise(6.0).sample((200_000,), rng)
+        assert (np.abs(t) > 18.0).mean() > (np.abs(g) > 18.0).mean()
+
+    def test_rejects_low_dof(self):
+        with pytest.raises(ValueError, match="dof"):
+            StudentTNoise(dof=2.0)
+
+    def test_zero_sigma(self, rng):
+        assert np.all(StudentTNoise(sigma_dbm=0.0).sample((5,), rng) == 0.0)
+
+
+class TestMixtureNoise:
+    def test_contamination_raises_spread(self, rng):
+        clean = MixtureNoise(sigma_dbm=3.0, outlier_prob=0.0).sample((100_000,), rng)
+        dirty = MixtureNoise(sigma_dbm=3.0, outlier_sigma_dbm=20.0, outlier_prob=0.2).sample(
+            (100_000,), rng
+        )
+        assert dirty.std() > clean.std()
+
+    def test_prob_bounds_validated(self):
+        with pytest.raises(ValueError, match="outlier_prob"):
+            MixtureNoise(outlier_prob=1.5)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            MixtureNoise(sigma_dbm=-1.0)
+
+    def test_zero_prob_equals_base(self, rng):
+        n = MixtureNoise(sigma_dbm=2.0, outlier_prob=0.0)
+        x = n.sample((50_000,), rng)
+        assert x.std() == pytest.approx(2.0, rel=0.05)

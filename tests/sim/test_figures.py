@@ -1,0 +1,50 @@
+"""Tests for repro.sim.figures — shared figure-data generators."""
+
+import numpy as np
+import pytest
+
+from repro.sim.figures import fig12a_series, fig12b_series, model_mode_error
+
+FAST = dict(duration_s=8.0, cell_size=4.0, n_reps=2)
+
+
+class TestModelModeError:
+    def test_finite_and_positive(self):
+        err = model_mode_error(n_sensors=8, seed=0, **FAST)
+        assert np.isfinite(err) and err > 0
+
+    def test_reproducible(self):
+        a = model_mode_error(n_sensors=8, seed=3, **FAST)
+        b = model_mode_error(n_sensors=8, seed=3, **FAST)
+        assert a == b
+
+    def test_more_sensors_lower_error(self):
+        sparse = model_mode_error(n_sensors=6, seed=1, **FAST)
+        dense = model_mode_error(n_sensors=20, seed=1, **FAST)
+        assert dense < sparse
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            model_mode_error(n_sensors=8, n_reps=0)
+
+
+class TestSeries:
+    def test_fig12a_shape(self):
+        table = fig12a_series([0.5, 3.0], [6, 8], seed=0, **FAST)
+        assert set(table) == {6, 8}
+        assert all(len(v) == 2 for v in table.values())
+
+    def test_fig12b_shape(self):
+        table = fig12b_series([3, 9], [6, 8], seed=0, **FAST)
+        assert set(table) == {3, 9}
+        assert all(len(v) == 2 for v in table.values())
+
+    def test_fig12b_k_direction(self):
+        table = fig12b_series([3, 9], [10], seed=0, duration_s=15.0, cell_size=3.0, n_reps=4)
+        assert table[9][0] <= table[3][0] + 0.05
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            fig12a_series([], [6])
+        with pytest.raises(ValueError):
+            fig12b_series([3], [])

@@ -1,0 +1,106 @@
+"""Tests for repro.cli — every subcommand drives end to end."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
+        )
+        names = set(sub.choices)
+        assert {
+            "list",
+            "fig3",
+            "fig10",
+            "fig11",
+            "fig12a",
+            "fig12b",
+            "fig12cd",
+            "fig13",
+            "sampling-times",
+            "ablations",
+            "density",
+            "report",
+            "run",
+        } <= names
+
+
+class TestListAndInfo:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out and "sampling-times" in out
+
+    def test_sampling_times_worked_example(self, capsys):
+        assert main(["sampling-times", "--sensors", "20", "--confidence", "0.99"]) == 0
+        out = capsys.readouterr().out
+        assert "k = 16" in out
+
+    def test_fig3_quick(self, capsys):
+        assert main(["fig3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "all-certain" in out
+
+    def test_density(self, capsys):
+        assert main(["density"]) == 0
+        out = capsys.readouterr().out
+        assert "lifetime" in out
+
+
+class TestRun:
+    def test_run_list_presets(self, capsys):
+        assert main(["run", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-baseline" in out
+
+    def test_run_preset(self, capsys):
+        assert main(["run", "sparse", "--trackers", "fttt,nearest", "--rounds", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fttt" in out and "nearest" in out
+
+    def test_run_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            main(["run", "atlantis", "--rounds", "2"])
+
+
+class TestFigureCommands:
+    def test_fig13(self, capsys):
+        assert main(["fig13", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "basic" in out and "extended" in out
+
+    def test_fig10_quick(self, capsys):
+        assert main(["fig10", "--quick", "--reps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "deployment = grid" in out and "deployment = random" in out
+
+    def test_fig12cd_quick(self, capsys):
+        assert main(["fig12cd", "--quick", "--reps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fttt-extended" in out
+
+    def test_fig11_quick_with_csv(self, tmp_path, capsys):
+        assert main(["fig11", "--quick", "--reps", "1", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "fig11.csv").exists()
+        out = capsys.readouterr().out
+        assert "direct-mle" in out
+
+
+class TestReport:
+    def test_report_from_results(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig11bc.csv").write_text("tracker,mean\nfttt,4.0\n")
+        out_file = tmp_path / "REPORT.md"
+        assert main(["report", "--results", str(results), "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        assert "Reproduction report" in out_file.read_text()

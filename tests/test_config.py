@@ -1,0 +1,78 @@
+"""Tests for repro.config — Table 1 defaults and validation."""
+
+import pytest
+
+from repro.config import GridConfig, PaperDefaults, SimulationConfig
+
+
+class TestPaperDefaults:
+    def test_table1_values(self):
+        """Table 1 of the paper, verbatim."""
+        p = PaperDefaults()
+        assert p.field_size_m == 100.0
+        assert p.path_loss_exponent == 4.0
+        assert p.noise_sigma_dbm == 6.0
+        assert p.n_sensors_min == 5 and p.n_sensors_max == 40
+        assert p.sensing_range_m == 40.0
+        assert p.resolution_min_dbm == 0.5 and p.resolution_max_dbm == 3.0
+        assert p.sampling_rate_hz == 10.0
+        assert p.target_speed_min_mps == 1.0 and p.target_speed_max_mps == 5.0
+        assert p.sampling_times_min == 3 and p.sampling_times_max == 9
+        assert p.sim_duration_s == 60.0
+
+    def test_as_dict(self):
+        d = PaperDefaults().as_dict()
+        assert d["sensing_range_m"] == 40.0
+
+
+class TestSimulationConfig:
+    def test_defaults_are_paper_baseline(self):
+        cfg = SimulationConfig()
+        assert cfg.sampling_times == 5
+        assert cfg.resolution_dbm == 1.0
+        assert cfg.n_sensors == 10
+
+    def test_localization_period(self):
+        cfg = SimulationConfig(sampling_times=5, sampling_rate_hz=10.0)
+        assert cfg.localization_period_s == pytest.approx(0.5)
+        assert cfg.n_localizations == 120  # 60 s / 0.5 s
+
+    def test_with_returns_validated_copy(self):
+        cfg = SimulationConfig()
+        cfg2 = cfg.with_(n_sensors=20)
+        assert cfg2.n_sensors == 20
+        assert cfg.n_sensors == 10
+        with pytest.raises(ValueError):
+            cfg.with_(n_sensors=1)
+
+    def test_as_dict_includes_grid(self):
+        d = SimulationConfig().as_dict()
+        assert d["grid"]["cell_size_m"] == 1.0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("field_size_m", 0.0),
+            ("n_sensors", 1),
+            ("sensing_range_m", -1.0),
+            ("path_loss_exponent", 0.0),
+            ("noise_sigma_dbm", -1.0),
+            ("resolution_dbm", -0.5),
+            ("sampling_times", 0),
+            ("sampling_rate_hz", 0.0),
+            ("duration_s", 0.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            SimulationConfig(**{field: value})
+
+    def test_speed_range_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(target_speed_min_mps=5.0, target_speed_max_mps=1.0)
+
+
+class TestGridConfig:
+    def test_rejects_nonpositive_cell(self):
+        with pytest.raises(ValueError):
+            GridConfig(cell_size_m=0.0)

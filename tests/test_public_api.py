@@ -1,0 +1,46 @@
+"""The public API surface stays importable and coherent."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.core",
+        "repro.geometry",
+        "repro.rf",
+        "repro.network",
+        "repro.mobility",
+        "repro.baselines",
+        "repro.analysis",
+        "repro.sim",
+        "repro.testbed",
+    ],
+)
+def test_subpackage_all_exports(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.__all__ lists missing attribute {name}"
+
+
+def test_quickstart_surface():
+    """The objects the README quickstart uses exist and compose."""
+    from repro import SimulationConfig, make_scenario, run_all_trackers
+
+    cfg = SimulationConfig(n_sensors=5, duration_s=3.0)
+    scenario = make_scenario(cfg, seed=0)
+    results = run_all_trackers(scenario, ["fttt"], 1, n_rounds=2)
+    assert "fttt" in results

@@ -1,0 +1,79 @@
+"""Tests for repro.rng."""
+
+import numpy as np
+import pytest
+
+from repro.rng import (
+    check_rngs_independent,
+    derive_rng,
+    ensure_rng,
+    rng_stream,
+    spawn_rngs,
+)
+
+
+class TestEnsureRng:
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_int_seed_reproducible(self):
+        a = ensure_rng(42).integers(0, 1000, 5)
+        b = ensure_rng(42).integers(0, 1000, 5)
+        assert np.array_equal(a, b)
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_sequence(self):
+        ss = np.random.SeedSequence(7)
+        assert isinstance(ensure_rng(ss), np.random.Generator)
+
+
+class TestSpawn:
+    def test_count(self):
+        assert len(spawn_rngs(0, 7)) == 7
+
+    def test_independence(self):
+        rngs = spawn_rngs(0, 10)
+        assert check_rngs_independent(rngs)
+
+    def test_reproducible(self):
+        a = [g.integers(0, 1000) for g in spawn_rngs(3, 4)]
+        b = [g.integers(0, 1000) for g in spawn_rngs(3, 4)]
+        assert a == b
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_is_empty(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestStream:
+    def test_unbounded_and_distinct(self):
+        stream = rng_stream(5)
+        rngs = [next(stream) for _ in range(5)]
+        assert check_rngs_independent(rngs)
+
+    def test_reproducible(self):
+        a = next(rng_stream(9)).integers(0, 10**6)
+        b = next(rng_stream(9)).integers(0, 10**6)
+        assert a == b
+
+
+class TestDerive:
+    def test_same_keys_same_stream(self):
+        parent = np.random.default_rng(0)
+        a = derive_rng(parent, "noise", 3).integers(0, 10**6)
+        parent2 = np.random.default_rng(0)
+        b = derive_rng(parent2, "noise", 3).integers(0, 10**6)
+        assert a == b
+
+    def test_different_keys_differ(self):
+        parent = np.random.default_rng(0)
+        a = derive_rng(parent, "noise").integers(0, 10**6, 4)
+        parent2 = np.random.default_rng(0)
+        b = derive_rng(parent2, "faults").integers(0, 10**6, 4)
+        assert not np.array_equal(a, b)

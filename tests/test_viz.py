@@ -1,0 +1,94 @@
+"""Tests for repro.viz — ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.tracker import TrackEstimate, TrackResult
+from repro.viz import render_face_map, render_scalar_field, render_track, sparkline
+
+
+def make_result(points):
+    res = TrackResult()
+    for i, p in enumerate(points):
+        est = TrackEstimate(
+            t=float(i),
+            position=np.asarray(p, dtype=float) + np.array([12.0, 0.0]),
+            face_ids=np.array([0]),
+            sq_distance=0.0,
+            n_reporting=4,
+            visited_faces=1,
+        )
+        res.append(est, np.asarray(p, dtype=float))
+    return res
+
+
+class TestScalarField:
+    def test_dimensions(self):
+        field = np.arange(100, dtype=float).reshape(10, 10)
+        text = render_scalar_field(field, width=40, height=10)
+        lines = text.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+
+    def test_gradient_shading(self):
+        field = np.linspace(0, 1, 100).reshape(10, 10)
+        text = render_scalar_field(field, width=20, height=5)
+        assert len(set(text.replace("\n", ""))) > 2  # multiple shades used
+
+    def test_constant_field_single_shade(self):
+        text = render_scalar_field(np.ones((5, 5)), width=10, height=5)
+        assert set(text.replace("\n", "")) == {" "}
+
+    def test_overlay_points(self):
+        text = render_scalar_field(
+            np.zeros((10, 10)),
+            width=20,
+            height=10,
+            overlay_points=np.array([[5.0, 5.0]]),
+            extent=(10.0, 10.0),
+        )
+        assert "#" in text
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            render_scalar_field(np.zeros(10))
+
+
+class TestRenderTrack:
+    def test_contains_truth_and_estimates(self):
+        res = make_result([[20.0, 20.0], [40.0, 40.0], [60.0, 60.0]])
+        text = render_track(res, 100.0, width=40)
+        assert "." in text
+        assert "o" in text
+
+    def test_nodes_overlay(self, four_nodes):
+        res = make_result([[50.0, 50.0]])
+        text = render_track(res, 100.0, nodes=four_nodes)
+        assert "#" in text
+
+
+class TestRenderFaceMap:
+    def test_renders(self, face_map):
+        text = render_face_map(face_map, width=40)
+        assert "#" in text  # sensors visible
+        lines = text.split("\n")
+        assert all(len(line) == 40 for line in lines)
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline(np.arange(10))) == 10
+
+    def test_downsampling(self):
+        assert len(sparkline(np.arange(100), width=20)) == 20
+
+    def test_monotone_series_monotone_blocks(self):
+        s = sparkline(np.arange(8))
+        assert s == "".join(sorted(s))
+
+    def test_empty(self):
+        assert sparkline(np.array([])) == ""
+
+    def test_constant(self):
+        s = sparkline(np.ones(5))
+        assert len(set(s)) == 1

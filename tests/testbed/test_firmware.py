@@ -1,0 +1,139 @@
+"""Tests for repro.testbed.firmware — the mote report loop."""
+
+import numpy as np
+import pytest
+
+from repro.testbed.firmware import (
+    FirmwareConfig,
+    GatewayCollector,
+    MoteFirmware,
+    run_reporting_epoch,
+)
+
+
+@pytest.fixture
+def cfg():
+    return FirmwareConfig(k=3, sample_period_s=0.1, max_tries=3, queue_depth=2)
+
+
+class TestFirmwareConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FirmwareConfig(k=0)
+        with pytest.raises(ValueError):
+            FirmwareConfig(sample_period_s=0.0)
+        with pytest.raises(ValueError):
+            FirmwareConfig(max_tries=0)
+
+
+class TestMoteFirmware:
+    def test_enqueue_assigns_sequence(self, cfg):
+        m = MoteFirmware(0, cfg, link_delivery_p=1.0)
+        f0 = m.enqueue_round([1.0, 2.0, 3.0])
+        f1 = m.enqueue_round([4.0, 5.0, 6.0])
+        assert f0.sequence == 0 and f1.sequence == 1
+        assert m.queue_length == 2
+
+    def test_queue_overflow_drops_oldest(self, cfg):
+        m = MoteFirmware(0, cfg, link_delivery_p=1.0)
+        for i in range(3):  # depth is 2
+            m.enqueue_round([float(i)] * 3)
+        assert m.queue_length == 2
+        assert m.dropped_overflow == 1
+
+    def test_reliable_link_delivers_first_try(self, cfg, rng):
+        m = MoteFirmware(0, cfg, link_delivery_p=1.0)
+        collector = GatewayCollector(n_motes=1, k=3)
+        m.enqueue_round([1.0, 2.0, 3.0])
+        elapsed = m.transmit_with_retries(rng, collector, 0.0)
+        assert m.delivered == 1
+        assert elapsed == pytest.approx(cfg.tx_delay_s)
+        assert collector.rounds_seen == 1
+
+    def test_dead_link_abandons_after_retries(self, cfg, rng):
+        m = MoteFirmware(0, cfg, link_delivery_p=1e-12)
+        collector = GatewayCollector(n_motes=1, k=3)
+        m.enqueue_round([1.0, 2.0, 3.0])
+        m.transmit_with_retries(rng, collector, 0.0)
+        assert m.delivered == 0
+        assert m.dropped_retries == 1
+        assert m.queue_length == 0
+        assert m.sent == cfg.max_tries
+
+    def test_retry_statistics(self, cfg):
+        rng = np.random.default_rng(0)
+        delivered = 0
+        for _ in range(500):
+            m = MoteFirmware(0, cfg, link_delivery_p=0.5)
+            collector = GatewayCollector(n_motes=1, k=3)
+            m.enqueue_round([0.0] * 3)
+            m.transmit_with_retries(rng, collector, 0.0)
+            delivered += m.delivered
+        # P(delivered within 3 tries) = 1 - 0.5^3 = 0.875
+        assert delivered / 500 == pytest.approx(0.875, abs=0.04)
+
+    def test_validation(self, cfg):
+        with pytest.raises(ValueError):
+            MoteFirmware(0, cfg, link_delivery_p=0.0)
+
+
+class TestGatewayCollector:
+    def test_assembles_round_matrix(self, cfg):
+        from repro.testbed.packets import ReportFrame
+
+        collector = GatewayCollector(n_motes=3, k=2)
+        collector.receive(ReportFrame(0, 0, (10.0, 11.0)), 0.5)
+        collector.receive(ReportFrame(2, 0, (20.0, 21.0)), 0.6)
+        mat = collector.round_matrix(0)
+        assert mat.shape == (2, 3)
+        assert mat[0, 0] == 10.0 and mat[1, 2] == 21.0
+        assert np.isnan(mat[:, 1]).all()
+
+    def test_missing_round_is_all_nan(self):
+        collector = GatewayCollector(n_motes=2, k=3)
+        assert np.isnan(collector.round_matrix(7)).all()
+
+    def test_latency_tracking(self):
+        from repro.testbed.packets import ReportFrame
+
+        collector = GatewayCollector(n_motes=1, k=1)
+        collector.expect_round(0, 0.0)
+        collector.receive(ReportFrame(0, 0, (1.0,)), 0.4)
+        assert collector.mean_latency_s == pytest.approx(0.4)
+
+
+class TestEpoch:
+    def test_full_epoch_reliable(self, cfg):
+        motes = [MoteFirmware(i, cfg, link_delivery_p=1.0) for i in range(4)]
+        collector = run_reporting_epoch(motes, lambda mid, t: 50.0 + mid, 5, rng=0)
+        assert collector.rounds_seen == 5
+        for r in range(5):
+            mat = collector.round_matrix(r)
+            assert not np.isnan(mat).any()
+            assert np.allclose(mat[:, 2], 52.0)
+
+    def test_lossy_epoch_produces_gaps(self, cfg):
+        motes = [MoteFirmware(i, cfg, link_delivery_p=0.3) for i in range(4)]
+        collector = run_reporting_epoch(motes, lambda mid, t: 50.0, 10, rng=1)
+        mats = [collector.round_matrix(r) for r in range(10)]
+        assert any(np.isnan(m).any() for m in mats)
+
+    def test_latency_positive(self, cfg):
+        motes = [MoteFirmware(i, cfg, link_delivery_p=1.0) for i in range(2)]
+        collector = run_reporting_epoch(motes, lambda mid, t: 0.0, 3, rng=2)
+        assert collector.mean_latency_s > 0
+
+    def test_levels_reflect_sample_time(self, cfg):
+        """The level callback sees the actual sample instants."""
+        seen = []
+        motes = [MoteFirmware(0, cfg, link_delivery_p=1.0)]
+        run_reporting_epoch(motes, lambda mid, t: seen.append(t) or 0.0, 2, rng=3)
+        assert len(seen) == 2 * cfg.k
+        assert seen == sorted(seen)
+
+    def test_validation(self, cfg):
+        with pytest.raises(ValueError):
+            run_reporting_epoch([], lambda m, t: 0.0, 3)
+        motes = [MoteFirmware(0, cfg)]
+        with pytest.raises(ValueError):
+            run_reporting_epoch(motes, lambda m, t: 0.0, 0)

@@ -1,0 +1,98 @@
+"""Tests for repro.testbed.motes and repro.testbed.gateway."""
+
+import numpy as np
+import pytest
+
+from repro.rf.acoustic import AcousticToneChannel
+from repro.testbed.gateway import Mib520Gateway
+from repro.testbed.motes import IrisMote, MoteReading
+
+
+@pytest.fixture
+def quiet_channel():
+    return AcousticToneChannel(noise_sigma_db=0.0)
+
+
+class TestIrisMote:
+    def test_sense_returns_reading(self, quiet_channel, rng):
+        m = IrisMote(0, np.array([0.0, 0.0]), adc_step_db=0.0)
+        r = m.sense(np.array([3.0, 4.0]), quiet_channel, 1.5, rng)
+        assert isinstance(r, MoteReading)
+        assert r.mote_id == 0
+        assert r.t == 1.5
+        assert r.level_db == pytest.approx(quiet_channel.level_db(np.array([5.0]))[0])
+
+    def test_failed_mote_returns_none(self, quiet_channel, rng):
+        m = IrisMote(0, np.zeros(2), failed=True)
+        assert m.sense(np.ones(2), quiet_channel, 0.0, rng) is None
+
+    def test_adc_quantization(self, quiet_channel, rng):
+        m = IrisMote(0, np.zeros(2), adc_step_db=0.5)
+        r = m.sense(np.array([7.0, 0.0]), quiet_channel, 0.0, rng)
+        assert r.level_db % 0.5 == pytest.approx(0.0, abs=1e-9)
+
+    def test_gain_offset_shifts_reading(self, quiet_channel, rng):
+        base = IrisMote(0, np.zeros(2), adc_step_db=0.0, gain_offset_db=0.0)
+        hot = IrisMote(1, np.zeros(2), adc_step_db=0.0, gain_offset_db=3.0)
+        p = np.array([10.0, 0.0])
+        r0 = base.sense(p, quiet_channel, 0.0, rng)
+        r1 = hot.sense(p, quiet_channel, 0.0, rng)
+        assert r1.level_db - r0.level_db == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IrisMote(-1, np.zeros(2))
+        with pytest.raises(ValueError):
+            IrisMote(0, np.zeros(2), adc_step_db=-0.1)
+
+
+class TestGateway:
+    def make_readings(self, k, n, level=50.0):
+        return [
+            [MoteReading(mote_id=j, t=float(i), level_db=level) for j in range(n)]
+            for i in range(k)
+        ]
+
+    def test_collect_full_round(self, rng):
+        gw = Mib520Gateway(n_motes=4, frame_loss_p=0.0)
+        mat = gw.collect_round(self.make_readings(3, 4), rng)
+        assert mat.shape == (3, 4)
+        assert not np.isnan(mat).any()
+        assert gw.frames_received == 12
+
+    def test_none_readings_leave_nan(self, rng):
+        gw = Mib520Gateway(n_motes=3, frame_loss_p=0.0)
+        readings = self.make_readings(2, 3)
+        readings[0][1] = None
+        mat = gw.collect_round(readings, rng)
+        assert np.isnan(mat[0, 1])
+        assert not np.isnan(mat[1, 1])
+
+    def test_full_loss(self, rng):
+        gw = Mib520Gateway(n_motes=3, frame_loss_p=1.0)
+        mat = gw.collect_round(self.make_readings(2, 3), rng)
+        assert np.isnan(mat).all()
+        assert gw.loss_rate == 1.0
+
+    def test_statistical_loss_rate(self, rng):
+        gw = Mib520Gateway(n_motes=10, frame_loss_p=0.2)
+        for _ in range(100):
+            gw.collect_round(self.make_readings(5, 10), rng)
+        assert gw.loss_rate == pytest.approx(0.2, abs=0.02)
+
+    def test_bad_mote_id_rejected(self, rng):
+        gw = Mib520Gateway(n_motes=2, frame_loss_p=0.0)
+        readings = [[MoteReading(mote_id=5, t=0.0, level_db=1.0)]]
+        with pytest.raises(ValueError, match="out of range"):
+            gw.collect_round(readings, rng)
+
+    def test_empty_round_rejected(self, rng):
+        gw = Mib520Gateway(n_motes=2)
+        with pytest.raises(ValueError):
+            gw.collect_round([], rng)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mib520Gateway(n_motes=1)
+        with pytest.raises(ValueError):
+            Mib520Gateway(n_motes=3, frame_loss_p=2.0)

@@ -1,0 +1,99 @@
+"""Tests for repro.testbed.packets — the report-frame codec."""
+
+import numpy as np
+import pytest
+
+from repro.testbed.packets import (
+    ReportFrame,
+    corrupt,
+    crc16,
+    decode_frame,
+    encode_frame,
+)
+
+
+class TestCrc:
+    def test_known_vector(self):
+        # CRC-16-CCITT of "123456789" with init 0xFFFF is 0x29B1
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_detects_single_bit_flip(self):
+        data = b"hello sensor network"
+        good = crc16(data)
+        bad = bytes([data[0] ^ 0x01]) + data[1:]
+        assert crc16(bad) != good
+
+
+class TestRoundtrip:
+    def test_encode_decode(self):
+        frame = ReportFrame(mote_id=3, sequence=1234, levels_db=(55.5, 60.25, -3.125))
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded is not None
+        assert decoded.mote_id == 3
+        assert decoded.sequence == 1234
+        assert decoded.levels_db == frame.levels_db  # all values on the 1/16 dB grid
+
+    def test_quantization_to_sixteenth_db(self):
+        frame = ReportFrame(mote_id=0, sequence=0, levels_db=(50.01,))
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.levels_db[0] == pytest.approx(50.0, abs=1 / 16)
+
+    def test_extreme_levels_clamped(self):
+        frame = ReportFrame(mote_id=0, sequence=0, levels_db=(-500.0, 500.0))
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded is not None
+        assert decoded.levels_db[0] <= decoded.levels_db[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReportFrame(mote_id=300, sequence=0, levels_db=(1.0,))
+        with pytest.raises(ValueError):
+            ReportFrame(mote_id=0, sequence=70_000, levels_db=(1.0,))
+        with pytest.raises(ValueError):
+            ReportFrame(mote_id=0, sequence=0, levels_db=())
+
+
+class TestDecodeRobustness:
+    def test_rejects_short_data(self):
+        assert decode_frame(b"\x7e\x00") is None
+
+    def test_rejects_bad_sync(self):
+        frame = encode_frame(ReportFrame(0, 0, (1.0,)))
+        assert decode_frame(b"\x00" + frame[1:]) is None
+
+    def test_rejects_corrupted_crc(self):
+        frame = bytearray(encode_frame(ReportFrame(0, 0, (1.0, 2.0))))
+        frame[6] ^= 0xFF
+        assert decode_frame(bytes(frame)) is None
+
+    def test_rejects_truncated(self):
+        frame = encode_frame(ReportFrame(0, 0, (1.0, 2.0, 3.0)))
+        assert decode_frame(frame[:-3]) is None
+
+
+class TestCorrupt:
+    def test_zero_ber_is_identity(self, rng):
+        data = encode_frame(ReportFrame(1, 2, (3.0,)))
+        assert corrupt(data, 0.0, rng) == data
+
+    def test_high_ber_breaks_crc(self, rng):
+        data = encode_frame(ReportFrame(1, 2, (3.0, 4.0, 5.0)))
+        failures = sum(
+            decode_frame(corrupt(data, 0.05, rng)) is None for _ in range(200)
+        )
+        assert failures > 150  # ~every frame has flips at this BER and length
+
+    def test_loss_rate_matches_ber_theory(self, rng):
+        """Frame survival ~ (1-BER)^bits (undetected errors are rare)."""
+        data = encode_frame(ReportFrame(1, 2, tuple(float(i) for i in range(5))))
+        ber = 0.002
+        n_bits = len(data) * 8
+        survived = sum(
+            decode_frame(corrupt(data, ber, rng)) is not None for _ in range(2000)
+        )
+        expected = (1 - ber) ** n_bits
+        assert survived / 2000 == pytest.approx(expected, abs=0.05)
+
+    def test_ber_validation(self, rng):
+        with pytest.raises(ValueError):
+            corrupt(b"abc", 1.5, rng)
