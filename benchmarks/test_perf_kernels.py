@@ -1,0 +1,188 @@
+"""PERF — the batched matching kernels and the face-map cache.
+
+Microbenchmarks for the performance layer: cold vs warm face-map
+construction through the content-addressed cache, per-round loop vs
+batched GEMM matching of a 100-round trace, and end-to-end sweep
+throughput with the cache on and off.  Results land in
+``BENCH_kernels.json`` at the repo root so successive revisions can be
+compared; the assertions pin the speedup floors the layer promises
+(warm reuse ≥ 5x, batched matching ≥ 3x).
+
+Run:  PYTHONPATH=src pytest benchmarks/test_perf_kernels.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import GridConfig, SimulationConfig
+from repro.core.vectors import sampling_vector, sampling_vectors
+from repro.geometry.cache import (
+    FaceMapCache,
+    configure_face_map_cache,
+    default_face_map_cache,
+)
+from repro.geometry.faces import build_face_map
+from repro.sim.parallel import parallel_sweep
+from repro.sim.runner import generate_batches
+from repro.sim.scenario import make_scenario
+
+from conftest import emit
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_kernels.json"
+
+CFG = SimulationConfig(n_sensors=20, duration_s=50.0, grid=GridConfig(cell_size_m=2.5))
+SWEEP_CFG = SimulationConfig(duration_s=8.0, grid=GridConfig(cell_size_m=4.0))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    configure_face_map_cache(maxsize=64, disk_dir=None, enabled=None)
+    default_face_map_cache().clear()
+    yield
+    configure_face_map_cache(maxsize=64, disk_dir=None, enabled=None)
+    default_face_map_cache().clear()
+
+
+@pytest.fixture(scope="module")
+def results() -> dict:
+    """Accumulates every benchmark's numbers; dumped to JSON at teardown."""
+    data: dict = {}
+    yield data
+    payload = {
+        "suite": "perf_kernels",
+        "config": {"n_sensors": CFG.n_sensors, "cell_size_m": CFG.grid.cell_size_m},
+        **data,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {BENCH_PATH}")
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Min-of-N wall time — the standard noise-resistant micro timer."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_face_map_cache_cold_vs_warm(results, results_dir):
+    scenario = make_scenario(CFG, seed=33)
+    nodes, grid, c = scenario.nodes, scenario.grid, scenario.uncertainty_c
+    kwargs = dict(sensing_range=CFG.sensing_range_m, split_components=CFG.grid.split_components)
+
+    t_cold = _best_of(lambda: build_face_map(nodes, grid, c, **kwargs), repeats=3)
+
+    cache = FaceMapCache(maxsize=8)
+    cache.get_or_build(nodes, grid, c, **kwargs)  # populate
+    # a warm hit still hashes the node bytes — that is the honest reuse cost
+    t_warm = _best_of(lambda: cache.get_or_build(nodes, grid, c, **kwargs), repeats=10)
+
+    speedup = t_cold / t_warm
+    results["face_map_cache"] = {
+        "cold_build_s": t_cold,
+        "warm_hit_s": t_warm,
+        "speedup": speedup,
+        "n_faces": cache.get_or_build(nodes, grid, c, **kwargs).n_faces,
+    }
+    emit(
+        "PERF — face-map build, cold vs warm cache hit (n=20)",
+        [
+            f"cold build : {t_cold*1e3:9.2f} ms",
+            f"warm hit   : {t_warm*1e6:9.2f} us",
+            f"speedup    : {speedup:9.0f}x",
+        ],
+    )
+    assert speedup >= 5.0  # the ISSUE floor; in practice it is thousands
+
+
+def test_batched_matching_vs_per_round_loop(results, results_dir):
+    scenario = make_scenario(CFG, seed=33)
+    fm = scenario.face_map
+    batches = generate_batches(scenario, 102, n_rounds=100)
+    assert len(batches) == 100
+    stack = np.stack([b.rss for b in batches])
+    eps = CFG.resolution_dbm
+
+    def loop():
+        out = []
+        for rss in stack:
+            v = sampling_vector(rss, comparator_eps=eps)
+            out.append(fm.match(v))
+        return out
+
+    def batched():
+        vectors = sampling_vectors(stack, comparator_eps=eps)
+        return fm.match_many(vectors)
+
+    # equivalence guard: the timed paths must agree before we compare them
+    ties_b, bests_b = batched()
+    for (ties_l, best_l), t_b, b_b in zip(loop(), ties_b, bests_b):
+        assert np.array_equal(ties_l, t_b) and best_l == b_b
+
+    t_loop = _best_of(loop, repeats=3)
+    t_batch = _best_of(batched, repeats=3)
+    speedup = t_loop / t_batch
+    results["batched_matching"] = {
+        "trace_rounds": 100,
+        "n_faces": fm.n_faces,
+        "n_pairs": fm.n_pairs,
+        "loop_s": t_loop,
+        "batched_s": t_batch,
+        "speedup": speedup,
+    }
+    emit(
+        "PERF — 100-round trace: per-round loop vs batched kernels",
+        [
+            f"faces x pairs : {fm.n_faces} x {fm.n_pairs}",
+            f"per-round loop: {t_loop*1e3:8.2f} ms",
+            f"batched       : {t_batch*1e3:8.2f} ms",
+            f"speedup       : {speedup:8.1f}x",
+        ],
+    )
+    assert speedup >= 3.0
+
+
+def test_sweep_throughput_cache_on_off(results, results_dir):
+    points = [(SWEEP_CFG.with_(n_sensors=n), {"n_sensors": n}) for n in (8, 10, 12)]
+
+    def sweep():
+        return parallel_sweep(points, ["fttt-exhaustive"], n_reps=3, seed=5, n_workers=1)
+
+    configure_face_map_cache(enabled=False)
+    t_off = _best_of(sweep, repeats=2)
+    off = sweep()
+
+    configure_face_map_cache(enabled=True)
+    default_face_map_cache().clear()
+    sweep()  # populate
+    t_on = _best_of(sweep, repeats=2)
+    on = sweep()
+
+    assert [r.mean_error for r in off] == [r.mean_error for r in on]
+    speedup = t_off / t_on
+    results["sweep_cache"] = {
+        "points": len(points),
+        "n_reps": 3,
+        "cache_off_s": t_off,
+        "cache_on_warm_s": t_on,
+        "speedup": speedup,
+    }
+    emit(
+        "PERF — repeated sweep, face-map cache off vs warm",
+        [
+            f"cache off : {t_off:7.2f} s",
+            f"cache warm: {t_on:7.2f} s",
+            f"speedup   : {speedup:7.2f}x",
+        ],
+    )
+    # the division is only part of sweep cost (tracking dominates at tiny
+    # configs), so the end-to-end floor is modest
+    assert speedup >= 1.0

@@ -60,7 +60,9 @@ def test_localization_throughput(benchmark, results_dir):
     # every tracker clears the real-time requirement comfortably
     for name, rate in rates.items():
         assert rate > 10 * required, name
-    # at this modest face count the heuristic and exhaustive matchers are
-    # comparable (the einsum scan is cheap); the heuristic's advantage at
-    # large face counts is measured in test_alg_complexity
-    assert rates["fttt"] > rates["fttt-exhaustive"] * 0.6
+    # the exhaustive tracker now localizes the whole trace through the
+    # batched GEMM kernel (see benchmarks/test_perf_kernels.py), so it can
+    # outrun the sequential heuristic at this modest face count; the
+    # heuristic's per-round advantage at large face counts is measured in
+    # test_alg_complexity
+    assert rates["fttt"] > rates["fttt-exhaustive"] * 0.05

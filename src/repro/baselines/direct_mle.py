@@ -14,7 +14,7 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.baselines.sequences import sign_vector_from_rss
+from repro.baselines.sequences import sign_vector_from_rss, sign_vectors_from_rss
 from repro.core.matching import ExhaustiveMatcher
 from repro.core.tracker import TrackEstimate, TrackResult
 from repro.geometry.faces import FaceMap
@@ -70,6 +70,32 @@ class DirectMLETracker:
         return self.localize(batch.rss, t=t0)
 
     def track(self, batches: Iterable[SampleBatch]) -> TrackResult:
+        """Localize the whole trace in one batched kernel call.
+
+        Rounds are matched independently (that is the point of this
+        baseline), so the per-round loop collapses into one batched sign
+        -vector build plus one GEMM match — bit-identical to looping.
+        """
+        batches = list(batches)
+        stack = [np.atleast_2d(np.asarray(b.rss, dtype=float)) for b in batches]
+        if len(batches) > 1 and all(
+            s.shape == stack[0].shape and s.shape[1] == self.face_map.n_nodes for s in stack
+        ):
+            rss_stack = np.stack(stack)
+            vectors = sign_vectors_from_rss(rss_stack, self._pairs, reduce=self.reduce)
+            matches = self._matcher.match_many(vectors)
+            result = TrackResult()
+            for batch, rss, match in zip(batches, rss_stack, matches):
+                est = TrackEstimate(
+                    t=float(batch.times[0]),
+                    position=match.position,
+                    face_ids=match.face_ids,
+                    sq_distance=match.sq_distance,
+                    n_reporting=int((~np.isnan(rss).all(axis=0)).sum()),
+                    visited_faces=match.visited,
+                )
+                result.append(est, batch.mean_position)
+            return result
         result = TrackResult()
         for batch in batches:
             result.append(self.localize_batch(batch), batch.mean_position)

@@ -19,7 +19,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.baselines.sequences import sign_vector_from_rss
+from repro.baselines.sequences import sign_vector_from_rss, sign_vectors_from_rss
 from repro.core.tracker import TrackEstimate, TrackResult
 from repro.geometry.faces import FaceMap
 from repro.geometry.primitives import enumerate_pairs
@@ -109,10 +109,13 @@ class PathMatchingTracker:
         if not rounds:
             return []
         fm = self.face_map
+        # batched emissions: one GEMM for the whole trace instead of a
+        # distances_to call per round (bit-identical; see distances_to_many)
+        vectors = np.stack([rnd.vector for rnd in rounds])
+        em_all = -fm.distances_to_many(vectors)  # (T, F)
         beams: list[np.ndarray] = []
         scores_list: list[np.ndarray] = []
-        for rnd in rounds:
-            em = self._emission_scores(rnd.vector)
+        for em in em_all:
             width = min(self.beam_width, fm.n_faces)
             beam = np.argpartition(-em, width - 1)[:width]
             beams.append(beam)
@@ -149,8 +152,8 @@ class PathMatchingTracker:
         path = path_rev[::-1]
 
         estimates = []
-        for rnd, fid in zip(rounds, path):
-            d2 = float(fm.distances_to(rnd.vector)[fid])
+        for step, (rnd, fid) in enumerate(zip(rounds, path)):
+            d2 = float(-em_all[step, fid])
             estimates.append(
                 TrackEstimate(
                     t=rnd.t,
@@ -165,13 +168,19 @@ class PathMatchingTracker:
 
     def track(self, batches: Iterable[SampleBatch]) -> TrackResult:
         """Offline optimal-path decoding over the whole trace."""
+        batches = list(batches)
+        stack = [np.atleast_2d(np.asarray(b.rss, dtype=float)) for b in batches]
+        if len(batches) > 1 and all(s.shape == stack[0].shape for s in stack):
+            # batched sign-vector construction (bit-identical to per-round)
+            vectors = sign_vectors_from_rss(np.stack(stack), self._pairs, reduce=self.reduce)
+        else:
+            vectors = [self.build_vector(rss) for rss in stack]
         rounds: list[_Round] = []
-        for batch in batches:
-            rss = batch.rss
+        for batch, rss, vector in zip(batches, stack, vectors):
             rounds.append(
                 _Round(
                     t=float(batch.times[0]),
-                    vector=self.build_vector(rss),
+                    vector=np.asarray(vector),
                     n_reporting=int((~np.isnan(rss).all(axis=0)).sum()),
                     true_position=batch.mean_position,
                 )

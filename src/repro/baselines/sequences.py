@@ -17,6 +17,7 @@ from repro.geometry.primitives import enumerate_pairs
 __all__ = [
     "detection_sequence",
     "sign_vector_from_rss",
+    "sign_vectors_from_rss",
     "sign_vector_from_ranks",
     "kendall_distance",
     "spearman_footrule",
@@ -75,6 +76,43 @@ def sign_vector_from_rss(
         pairs = enumerate_pairs(n)
     i_idx, j_idx = pairs
     a, b = row[i_idx], row[j_idx]
+    both_nan = np.isnan(a) & np.isnan(b)
+    with np.errstate(invalid="ignore"):
+        val = np.sign(
+            np.where(np.isnan(a), -np.inf, a) - np.where(np.isnan(b), -np.inf, b)
+        ).astype(float)
+    val[both_nan] = np.nan
+    return val
+
+
+def sign_vectors_from_rss(
+    rss: np.ndarray,
+    pairs: "tuple[np.ndarray, np.ndarray] | None" = None,
+    *,
+    reduce: str = "mean",
+) -> np.ndarray:
+    """Batched :func:`sign_vector_from_rss` over a ``(T, k, n)`` round stack.
+
+    Row ``t`` is bit-identical to ``sign_vector_from_rss(rss[t], ...)`` —
+    the reduction and comparisons are elementwise per round.
+    """
+    rss = np.asarray(rss, dtype=float)
+    if rss.ndim != 3:
+        raise ValueError(f"rss must be a (T, k, n) stack, got shape {rss.shape}")
+    if reduce == "mean":
+        all_nan = np.isnan(rss).all(axis=1)  # (T, n)
+        counts = np.maximum((~np.isnan(rss)).sum(axis=1), 1)
+        sums = np.where(np.isnan(rss), 0.0, rss).sum(axis=1)
+        rows = np.where(all_nan, np.nan, sums / counts)
+    elif reduce == "last":
+        rows = rss[:, -1]
+    else:
+        raise ValueError(f"unknown reduce {reduce!r}")
+    n = rows.shape[1]
+    if pairs is None:
+        pairs = enumerate_pairs(n)
+    i_idx, j_idx = pairs
+    a, b = rows[:, i_idx], rows[:, j_idx]
     both_nan = np.isnan(a) & np.isnan(b)
     with np.errstate(invalid="ignore"):
         val = np.sign(

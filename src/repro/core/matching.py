@@ -66,5 +66,26 @@ class ExhaustiveMatcher:
             visited=self.face_map.n_faces,
         )
 
+    def match_many(self, vectors: np.ndarray) -> list[MatchResult]:
+        """Match a whole ``(B, P)`` batch of vectors in one kernel call.
+
+        Row ``b`` of the result is bit-identical to ``match(vectors[b])``
+        (see :meth:`repro.geometry.faces.FaceMap.distances_to_many`); the
+        batch trades the per-round Python loop for one GEMM over the
+        signature matrix.
+        """
+        ties, bests = self.face_map.match_many(vectors, soft=self.soft)
+        centroids = self.face_map.centroids
+        n_faces = self.face_map.n_faces
+        return [
+            MatchResult(
+                face_ids=t,
+                sq_distance=float(best),
+                position=centroids[t].mean(axis=0),
+                visited=n_faces,
+            )
+            for t, best in zip(ties, bests)
+        ]
+
     def reset(self) -> None:
         """No state to clear; present for interface parity."""

@@ -15,7 +15,12 @@ import numpy as np
 
 from repro.core.heuristic import HeuristicMatcher
 from repro.core.matching import ExhaustiveMatcher, MatchResult
-from repro.core.vectors import extended_sampling_vector, sampling_vector
+from repro.core.vectors import (
+    extended_sampling_vector,
+    extended_sampling_vectors,
+    sampling_vector,
+    sampling_vectors,
+)
 from repro.geometry.faces import FaceMap
 from repro.geometry.primitives import enumerate_pairs
 from repro.rf.channel import SampleBatch
@@ -159,6 +164,17 @@ class FTTTracker:
             return extended_sampling_vector(rss, self._pairs, comparator_eps=self.comparator_eps)
         return sampling_vector(rss, self._pairs, comparator_eps=self.comparator_eps)
 
+    def build_vectors(self, rss_stack: np.ndarray) -> np.ndarray:
+        """Batched Algorithm 1: ``(T, k, n)`` round stack -> ``(T, P)`` vectors.
+
+        Row ``t`` is bit-identical to ``build_vector(rss_stack[t])``.
+        """
+        if self.mode == "extended":
+            return extended_sampling_vectors(
+                rss_stack, self._pairs, comparator_eps=self.comparator_eps
+            )
+        return sampling_vectors(rss_stack, self._pairs, comparator_eps=self.comparator_eps)
+
     # -- localization ---------------------------------------------------------
 
     def localize(self, rss: np.ndarray, t: float = 0.0) -> TrackEstimate:
@@ -193,13 +209,42 @@ class FTTTracker:
 
         The matcher state persists across rounds, so the heuristic matcher
         starts each search from the previous face (Algorithm 2's
-        consecutive-tracking speedup).
+        consecutive-tracking speedup).  The exhaustive matcher has no such
+        state, so its whole trace is localized in two batched kernel calls
+        (Algorithm-1 vectors, then one GEMM match) — bit-identical to the
+        per-round loop, an order of magnitude faster.
         """
+        batches = list(batches)
+        if isinstance(self.matcher, ExhaustiveMatcher) and len(batches) > 1:
+            stacked = self._stack_rss(batches)
+            if stacked is not None:
+                vectors = self.build_vectors(stacked)
+                matches = self.matcher.match_many(vectors)
+                result = TrackResult()
+                for batch, rss, match in zip(batches, stacked, matches):
+                    est = TrackEstimate(
+                        t=float(batch.times[0]),
+                        position=match.position,
+                        face_ids=match.face_ids,
+                        sq_distance=match.sq_distance,
+                        n_reporting=int((~np.isnan(rss).all(axis=0)).sum()),
+                        visited_faces=match.visited,
+                    )
+                    result.append(est, batch.mean_position)
+                return result
         result = TrackResult()
         for batch in batches:
             est = self.localize_batch(batch)
             result.append(est, batch.mean_position)
         return result
+
+    def _stack_rss(self, batches: "list[SampleBatch]") -> "np.ndarray | None":
+        """(T, k, n) stack of the batches' RSS, or None if shapes vary."""
+        stack = [np.atleast_2d(np.asarray(b.rss, dtype=float)) for b in batches]
+        shape = stack[0].shape
+        if any(s.shape != shape for s in stack) or shape[1] != self.face_map.n_nodes:
+            return None
+        return np.stack(stack)
 
     def reset(self) -> None:
         """Clear matcher state (start a fresh trace)."""

@@ -28,6 +28,8 @@ __all__ = [
     "STAR",
     "sampling_vector",
     "extended_sampling_vector",
+    "sampling_vectors",
+    "extended_sampling_vectors",
     "sampling_vector_reference",
     "pair_win_counts",
 ]
@@ -146,6 +148,101 @@ def extended_sampling_vector(
     denom = np.where(n_valid > 0, n_valid, 1)
     values = (wins_i - wins_j) / denom
     return _fault_fill(values, rss, i_idx, j_idx, n_valid)
+
+
+def _prepare_stack(
+    rss: np.ndarray, pairs: "tuple[np.ndarray, np.ndarray] | None"
+) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
+    rss = np.asarray(rss, dtype=float)
+    if rss.ndim == 2:
+        rss = rss[None]
+    if rss.ndim != 3:
+        raise ValueError(f"rss must be a (T, k, n) stack, got shape {rss.shape}")
+    n = rss.shape[2]
+    if n < 2:
+        raise ValueError(f"need at least two sensors, got {n}")
+    if pairs is None:
+        pairs = enumerate_pairs(n)
+    return rss, pairs
+
+
+def _stack_win_counts(
+    rss: np.ndarray,
+    i_idx: np.ndarray,
+    j_idx: np.ndarray,
+    comparator_eps: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(T, P) win counts — :func:`pair_win_counts` over a round stack."""
+    if comparator_eps < 0:
+        raise ValueError(f"comparator_eps must be non-negative, got {comparator_eps}")
+    diff = rss[:, :, i_idx] - rss[:, :, j_idx]  # (T, k, P); NaN if either missing
+    valid = ~np.isnan(diff)
+    wins_i = np.count_nonzero(valid & (diff > comparator_eps), axis=1)
+    wins_j = np.count_nonzero(valid & (diff < -comparator_eps), axis=1)
+    return wins_i, wins_j, np.count_nonzero(valid, axis=1)
+
+
+def _fault_fill_stack(
+    values: np.ndarray,
+    rss: np.ndarray,
+    i_idx: np.ndarray,
+    j_idx: np.ndarray,
+    n_valid: np.ndarray,
+) -> np.ndarray:
+    """The Eq. 6 fill of :func:`_fault_fill`, per round of a (T, k, n) stack."""
+    reported = ~np.isnan(rss).all(axis=1)  # (T, n)
+    no_common = n_valid == 0
+    if not no_common.any():
+        return values
+    ri = reported[:, i_idx]
+    rj = reported[:, j_idx]
+    values = values.copy()
+    values[no_common & ri & ~rj] = 1.0
+    values[no_common & ~ri & rj] = -1.0
+    values[no_common & ~ri & ~rj] = STAR
+    both = no_common & ri & rj
+    if both.any():
+        counts = np.maximum((~np.isnan(rss)).sum(axis=1), 1)  # (T, n)
+        sums = np.where(np.isnan(rss), 0.0, rss).sum(axis=1)
+        means = sums / counts
+        delta = means[:, i_idx] - means[:, j_idx]
+        values[both] = np.sign(delta[both])
+    return values
+
+
+def sampling_vectors(
+    rss: np.ndarray,
+    pairs: "tuple[np.ndarray, np.ndarray] | None" = None,
+    *,
+    comparator_eps: float = 0.0,
+) -> np.ndarray:
+    """Batched :func:`sampling_vector` over a ``(T, k, n)`` round stack.
+
+    Returns a ``(T, P)`` matrix whose row ``t`` is bit-identical to
+    ``sampling_vector(rss[t], ...)`` — every operation is elementwise per
+    round, so batching cannot change a single value.  This is the
+    Algorithm-1 kernel the trace-level matchers feed from.
+    """
+    rss, (i_idx, j_idx) = _prepare_stack(rss, pairs)
+    wins_i, wins_j, n_valid = _stack_win_counts(rss, i_idx, j_idx, comparator_eps)
+    values = np.zeros(wins_i.shape, dtype=float)
+    values[(wins_i == n_valid) & (n_valid > 0)] = 1.0
+    values[(wins_j == n_valid) & (n_valid > 0)] = -1.0
+    return _fault_fill_stack(values, rss, i_idx, j_idx, n_valid)
+
+
+def extended_sampling_vectors(
+    rss: np.ndarray,
+    pairs: "tuple[np.ndarray, np.ndarray] | None" = None,
+    *,
+    comparator_eps: float = 0.0,
+) -> np.ndarray:
+    """Batched :func:`extended_sampling_vector` over a ``(T, k, n)`` stack."""
+    rss, (i_idx, j_idx) = _prepare_stack(rss, pairs)
+    wins_i, wins_j, n_valid = _stack_win_counts(rss, i_idx, j_idx, comparator_eps)
+    denom = np.where(n_valid > 0, n_valid, 1)
+    values = (wins_i - wins_j) / denom
+    return _fault_fill_stack(values, rss, i_idx, j_idx, n_valid)
 
 
 def sampling_vector_reference(rss: np.ndarray) -> np.ndarray:

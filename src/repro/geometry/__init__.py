@@ -24,7 +24,15 @@ from repro.geometry.apollonius import (
 from repro.geometry.bisector import bisector_side, certain_signatures
 from repro.geometry.grid import Grid
 from repro.geometry.components import UnionFind, label_equal_regions
-from repro.geometry.faces import Face, FaceMap, build_face_map
+from repro.geometry.faces import Face, FaceMap, build_face_map, build_certain_face_map
+from repro.geometry.cache import (
+    FaceMapCache,
+    face_map_cache_key,
+    get_face_map,
+    default_face_map_cache,
+    configure_face_map_cache,
+    face_map_cache_enabled,
+)
 from repro.geometry.adaptive import AdaptiveDivisionStats, build_adaptive_face_map
 from repro.geometry.exact import (
     circle_intersections,
@@ -52,6 +60,13 @@ __all__ = [
     "Face",
     "FaceMap",
     "build_face_map",
+    "build_certain_face_map",
+    "FaceMapCache",
+    "face_map_cache_key",
+    "get_face_map",
+    "default_face_map_cache",
+    "configure_face_map_cache",
+    "face_map_cache_enabled",
     "AdaptiveDivisionStats",
     "build_adaptive_face_map",
     "circle_intersections",

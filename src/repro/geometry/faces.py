@@ -8,6 +8,7 @@ instead of scanning all O(n^4) faces (Theorem 1, Algorithm 2).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -69,6 +70,8 @@ class FaceMap:
     adj_indices: np.ndarray
     soft_signatures: np.ndarray | None = field(default=None, repr=False)
     _signatures_f32: np.ndarray | None = field(default=None, repr=False)
+    _qual_sq_rows: np.ndarray | None = field(default=None, repr=False)
+    _qual_sq_t: np.ndarray | None = field(default=None, repr=False)
 
     # -- basic queries ----------------------------------------------------
 
@@ -146,15 +149,69 @@ class FaceMap:
         if v.shape != (self.n_pairs,):
             raise ValueError(f"vector has shape {v.shape}, expected ({self.n_pairs},)")
         sigs = self.signature_matrix(soft=soft)
+        diff = sigs - v  # one (F, P) temporary; NaN columns zeroed in place below
         mask = np.isnan(v)
         if mask.any():
-            v = np.where(mask, np.float32(0.0), v)
-            diff = sigs.copy()
             diff[:, mask] = 0.0
-            diff -= v
-        else:
-            diff = sigs - v
         return np.einsum("fp,fp->f", diff, diff)
+
+    def _qual_sq(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``sum_p s^2`` per face and ``(s^2)^T`` for the GEMM expansion."""
+        if self._qual_sq_rows is None:
+            sq = np.square(self._sig_f32())
+            self._qual_sq_rows = sq.sum(axis=1)
+            self._qual_sq_t = np.ascontiguousarray(sq.T)
+        return self._qual_sq_rows, self._qual_sq_t
+
+    def distances_to_many(self, vectors: np.ndarray, *, soft: bool = False) -> np.ndarray:
+        """Squared vector distance from each of ``(B, P)`` *vectors* to every face.
+
+        Bit-identical to calling :meth:`distances_to` per row.  When the
+        signatures are the qualitative ``{-1, 0, +1}`` set and every vector
+        component is a small integer (the basic Definition-4 values), the
+        batch is computed as one GEMM via the expansion
+        ``|a - b|^2 = |a|^2 - 2 a.b + |b|^2`` — every product and partial
+        sum is then a small exact integer in float32, so the result is
+        exactly the per-row einsum regardless of BLAS summation order.  NaN
+        fault components (Eq. 7) are handled by zeroing them and
+        subtracting the masked signature energy, again exactly.  Rows with
+        fractional components (extended vectors, soft signatures) fall
+        back to the per-row path to preserve bit-identity.
+        """
+        V = np.asarray(vectors, dtype=np.float32)
+        if V.ndim != 2 or V.shape[1] != self.n_pairs:
+            raise ValueError(f"vectors have shape {V.shape}, expected (B, {self.n_pairs})")
+        mask = np.isnan(V)
+        v0 = np.where(mask, np.float32(0.0), V)
+        exact = (
+            not soft
+            and bool(np.all(v0 == np.rint(v0)))
+            and bool(np.all(np.abs(v0) <= 8.0))
+        )
+        if not exact:
+            out = np.empty((len(V), self.n_faces), dtype=np.float32)
+            for b in range(len(V)):
+                out[b] = self.distances_to(V[b], soft=soft)
+            return out
+        sigs = self._sig_f32()
+        sq_rows, sq_t = self._qual_sq()
+        v_sq = np.einsum("bp,bp->b", v0, v0)
+        d2 = v_sq[:, None] - np.float32(2.0) * (v0 @ sigs.T) + sq_rows[None, :]
+        if mask.any():
+            # masked columns must contribute zero, not s^2: subtract their energy
+            d2 -= mask.astype(np.float32) @ sq_t
+        return d2
+
+    def tie_tolerance(self, best: float) -> float:
+        """Tie threshold for :meth:`match`, relative to the distance scale.
+
+        Two faces tie when their squared distances agree to within float32
+        accumulation error over P = C(n, 2) terms — ``eps32 * sqrt(P)``
+        relative — floored at the legacy absolute ``1e-6`` so near-zero
+        distances keep their historical behavior.
+        """
+        eps32 = float(np.finfo(np.float32).eps)
+        return max(1e-6, float(best) * eps32 * math.sqrt(self.n_pairs))
 
     def match(self, vector: np.ndarray, *, soft: bool = False) -> tuple[np.ndarray, float]:
         """Exhaustive maximum-likelihood matching (paper §4.4-1).
@@ -165,8 +222,31 @@ class FaceMap:
         """
         d2 = self.distances_to(vector, soft=soft)
         best = float(d2.min())
-        ties = np.flatnonzero(d2 <= best + 1e-6)
+        ties = np.flatnonzero(d2 <= best + self.tie_tolerance(best))
         return ties, best
+
+    def match_many(
+        self, vectors: np.ndarray, *, soft: bool = False
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Batched :meth:`match` over ``(B, P)`` *vectors*.
+
+        Returns ``(ties_per_row, best_sq_distances)`` — identical, row for
+        row, to calling :meth:`match` in a loop (see
+        :meth:`distances_to_many` for why).
+        """
+        d2 = self.distances_to_many(vectors, soft=soft)
+        ties: list[np.ndarray] = []
+        bests = np.empty(len(d2), dtype=float)
+        for b, row in enumerate(d2):
+            best = float(row.min())
+            ties.append(np.flatnonzero(row <= best + self.tie_tolerance(best)))
+            bests[b] = best
+        return ties, bests
+
+    def match_positions_many(self, vectors: np.ndarray, *, soft: bool = False) -> np.ndarray:
+        """Batched :meth:`match_position`: ``(B, 2)`` mean tie centroids."""
+        ties, _ = self.match_many(vectors, soft=soft)
+        return np.stack([self.centroids[t].mean(axis=0) for t in ties])
 
     def match_position(self, vector: np.ndarray, *, soft: bool = False) -> np.ndarray:
         """Position estimate: mean centroid of all maximum-similarity faces.

@@ -25,7 +25,22 @@ __all__ = ["parallel_sweep", "recommended_workers"]
 
 
 def recommended_workers(n_tasks: int) -> int:
-    """A sane pool size: no more workers than tasks or cores."""
+    """A sane pool size: no more workers than tasks or cores.
+
+    The ``REPRO_WORKERS`` environment variable overrides the core count —
+    CI and users can pin the pool size without threading a parameter
+    through every call site (still clamped to the task count; there is
+    never a reason to fork more workers than tasks).
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env is not None and env != "":
+        try:
+            forced = int(env)
+        except ValueError:
+            raise ValueError(f"REPRO_WORKERS must be an integer, got {env!r}") from None
+        if forced < 1:
+            raise ValueError(f"REPRO_WORKERS must be >= 1, got {forced}")
+        return max(1, min(n_tasks, forced))
     cores = os.cpu_count() or 1
     return max(1, min(n_tasks, cores))
 
@@ -55,6 +70,7 @@ def parallel_sweep(
     deployment: str = "random",
     n_workers: "int | None" = None,
     seed_stride: int = 1000,
+    cache_dir: "str | os.PathLike | None" = None,
 ) -> list[SweepRecord]:
     """Run ``replicate_mean_error`` for every (config, params) point in a pool.
 
@@ -65,11 +81,26 @@ def parallel_sweep(
     n_reps / deployment : as in :func:`replicate_mean_error`.
     seed : base seed; point *i* uses ``seed + i * seed_stride`` — identical
         to a serial loop, so parallel and serial runs agree exactly.
-    n_workers : pool size (default: min(cores, points)); 1 = run inline
-        (no pool, handy under coverage tools and debuggers).
+    n_workers : pool size (default: min(cores, points), overridable via
+        ``REPRO_WORKERS``); 1 = run inline (no pool, handy under coverage
+        tools and debuggers).
+    cache_dir : when given, workers share an on-disk face-map cache at
+        this directory (see :mod:`repro.geometry.cache`): a deployment
+        divided by one task is loaded, not rebuilt, by every other task —
+        across workers and across repeated ``parallel_sweep`` calls.
+        Results are bit-identical either way.  (Under ``fork`` start
+        methods the parent's warm in-memory cache is additionally
+        inherited copy-on-write for free.)
     """
     if not points:
         raise ValueError("no sweep points given")
+    if cache_dir is not None:
+        # environment propagates to fork and spawn workers alike, and
+        # reconfiguring the parent cache covers the inline path too
+        from repro.geometry.cache import configure_face_map_cache
+
+        os.environ["REPRO_FACE_CACHE_DIR"] = str(cache_dir)
+        configure_face_map_cache(disk_dir=str(cache_dir))
     tasks = [
         (
             {k: v for k, v in cfg.as_dict().items()},

@@ -24,7 +24,8 @@ from repro.baselines.weighted_centroid import WeightedCentroidTracker
 from repro.config import SimulationConfig
 from repro.core.tracker import FTTTracker
 from repro.geometry.apollonius import effective_uncertainty_constant, uncertainty_constant
-from repro.geometry.faces import FaceMap, build_certain_face_map, build_face_map
+from repro.geometry.cache import get_face_map
+from repro.geometry.faces import FaceMap
 from repro.geometry.grid import Grid
 from repro.mobility.base import MobilityModel
 from repro.mobility.waypoint import RandomWaypoint
@@ -75,14 +76,17 @@ class Scenario:
 
     @property
     def face_map(self) -> FaceMap:
-        """Uncertain-boundary face map (built lazily, cached)."""
+        """Uncertain-boundary face map (built lazily; served from the
+        content-addressed cache when the same world was divided before —
+        see :mod:`repro.geometry.cache`)."""
         if self._face_map is None:
-            self._face_map = build_face_map(
+            self._face_map = get_face_map(
                 self.nodes,
                 self.grid,
                 self.uncertainty_c,
                 sensing_range=self.config.sensing_range_m,
                 split_components=self.config.grid.split_components,
+                kind="uncertain",
             )
         return self._face_map
 
@@ -90,10 +94,13 @@ class Scenario:
     def certain_map(self) -> FaceMap:
         """Bisector-only face map for the certain-sequence baselines."""
         if self._certain_map is None:
-            self._certain_map = build_certain_face_map(
+            self._certain_map = get_face_map(
                 self.nodes,
                 self.grid,
+                1.0,
+                sensing_range=None,
                 split_components=self.config.grid.split_components,
+                kind="certain",
             )
         return self._certain_map
 

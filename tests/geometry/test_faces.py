@@ -174,3 +174,63 @@ class TestExpectedVector:
         p = np.array([25.0, 75.0])
         v = face_map.expected_vector_for_point(p)
         assert np.array_equal(v, face_map.signature_of_point(p).astype(float))
+
+
+class TestTieTolerance:
+    """The tie threshold scales with the distance, not a fixed 1e-6.
+
+    With P = C(n, 2) float32 accumulation terms, two mathematically equal
+    squared distances can drift apart by ULPs of the total — far more
+    than 1e-6 once distances are large — and an absolute threshold then
+    splits true ties.  Regression for the large-n mis-grouping.
+    """
+
+    @staticmethod
+    def _synthetic_map(soft_signatures: np.ndarray) -> "FaceMap":
+        from repro.geometry.faces import FaceMap
+
+        n_faces, n_pairs = soft_signatures.shape
+        # invert C(n, 2) = P for the node count
+        n = int(round((1 + np.sqrt(1 + 8 * n_pairs)) / 2))
+        assert n * (n - 1) // 2 == n_pairs
+        grid = Grid.square(2.0, 1.0)
+        return FaceMap(
+            nodes=np.zeros((n, 2)),
+            grid=grid,
+            c=1.5,
+            signatures=np.zeros((n_faces, n_pairs), dtype=np.int8),
+            centroids=np.arange(2.0 * n_faces).reshape(n_faces, 2),
+            cell_face=np.zeros(grid.n_cells, dtype=np.int64),
+            cell_counts=np.full(n_faces, grid.n_cells // n_faces, dtype=np.int64),
+            adj_indptr=np.arange(n_faces + 1, dtype=np.int64),
+            adj_indices=np.arange(n_faces, dtype=np.int64) ^ 1,
+            soft_signatures=soft_signatures,
+        )
+
+    def test_large_n_float32_drift_still_ties(self):
+        n_pairs = 1035  # C(46, 2): the large-n regime the fix targets
+        rng = np.random.default_rng(3)
+        x = rng.random(n_pairs).astype(np.float32) * 2 - 1
+        permuted = x[rng.permutation(n_pairs)]
+        fm = self._synthetic_map(np.stack([x, permuted]))
+        # the two rows hold the same multiset of values, so both squared
+        # distances to the zero vector are mathematically identical; the
+        # float32 sums differ by accumulation order
+        d2 = fm.distances_to(np.zeros(n_pairs), soft=True)
+        drift = abs(float(d2[0]) - float(d2[1]))
+        assert drift <= fm.tie_tolerance(float(d2.min()))
+        ties, best = fm.match(np.zeros(n_pairs), soft=True)
+        assert len(ties) == 2  # the absolute 1e-6 threshold split these
+        assert fm.tie_tolerance(best) > 1e-6
+
+    def test_small_distances_keep_legacy_threshold(self, face_map):
+        assert face_map.tie_tolerance(0.0) == 1e-6
+        assert face_map.tie_tolerance(1.0) == 1e-6
+
+    def test_exact_match_unaffected(self, face_map):
+        v = face_map.signatures[0].astype(float)
+        ties, d2 = face_map.match(v)
+        assert d2 == 0.0
+        # qualitative distances are exact integers; a widened threshold
+        # below 1 can never merge distinct ones
+        assert face_map.tie_tolerance(float(4 * face_map.n_pairs)) < 1.0

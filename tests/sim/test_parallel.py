@@ -16,6 +16,26 @@ class TestRecommendedWorkers:
     def test_at_least_one(self):
         assert recommended_workers(0) == 1
 
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert recommended_workers(10) == 3
+
+    def test_env_override_clamped_to_tasks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "64")
+        assert recommended_workers(2) == 2
+
+    def test_env_override_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            recommended_workers(4)
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError, match=">= 1"):
+            recommended_workers(4)
+
+    def test_empty_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "")
+        assert recommended_workers(1) == 1
+
 
 class TestParallelSweep:
     def points(self):
