@@ -186,3 +186,55 @@ def test_sweep_throughput_cache_on_off(results, results_dir):
     # the division is only part of sweep cost (tracking dominates at tiny
     # configs), so the end-to-end floor is modest
     assert speedup >= 1.0
+
+
+def test_obs_disabled_and_enabled_overhead(results, results_dir):
+    """The observability layer must be ~free when off and cheap when on.
+
+    Disabled mode is the default for every sweep, so its cost budget is
+    <5% on the hot tracking loop (each instrument site is one boolean
+    check).  We time the same instrumented run with the layer forced off
+    and forced on; the off/on ratio bounds what enabling costs, and the
+    absolute off-mode throughput lands in ``BENCH_kernels.json`` where
+    revision-to-revision comparison catches instrumentation creep.
+    """
+    import repro.obs as obs
+
+    scenario = make_scenario(CFG, seed=3)
+    batches = generate_batches(scenario, rng=7)
+
+    def run():
+        tracker = scenario.make_tracker("fttt")
+        tracker.reset()
+        return tracker.track(batches)
+
+    obs.set_enabled(False)
+    try:
+        run()  # warm the face-map cache and BLAS
+        t_off = _best_of(run, repeats=3)
+        obs.set_enabled(True)
+        obs.reset()
+        t_on = _best_of(run, repeats=3)
+        snap = obs.snapshot()
+    finally:
+        obs.set_enabled(None)
+        obs.reset()
+
+    assert snap["tracker.rounds"]["value"] > 0  # enabled mode really recorded
+    overhead = t_on / t_off - 1.0
+    results["obs_overhead"] = {
+        "trace_rounds": len(batches),
+        "disabled_s": t_off,
+        "enabled_s": t_on,
+        "enabled_overhead": overhead,
+    }
+    emit(
+        "PERF — tracking loop with repro.obs off vs on",
+        [
+            f"obs off : {t_off * 1e3:7.2f} ms",
+            f"obs on  : {t_on * 1e3:7.2f} ms",
+            f"overhead: {overhead * 100:7.2f} %",
+        ],
+    )
+    # even fully enabled, metrics must stay a small fraction of the loop
+    assert t_on <= t_off * 1.5

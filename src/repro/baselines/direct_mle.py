@@ -19,6 +19,7 @@ from repro.core.matching import ExhaustiveMatcher
 from repro.core.tracker import TrackEstimate, TrackResult
 from repro.geometry.faces import FaceMap
 from repro.geometry.primitives import enumerate_pairs
+from repro.obs import metrics as obs
 from repro.rf.channel import SampleBatch
 
 __all__ = ["DirectMLETracker"]
@@ -56,6 +57,8 @@ class DirectMLETracker:
             )
         vector = self.build_vector(rss)
         match = self._matcher.match(vector)
+        if obs.enabled():
+            obs.counter("baselines.direct_mle.rounds").inc()
         return TrackEstimate(
             t=t,
             position=match.position,
@@ -84,6 +87,8 @@ class DirectMLETracker:
             rss_stack = np.stack(stack)
             vectors = sign_vectors_from_rss(rss_stack, self._pairs, reduce=self.reduce)
             matches = self._matcher.match_many(vectors)
+            if obs.enabled():
+                obs.counter("baselines.direct_mle.rounds").inc(len(batches))
             result = TrackResult()
             for batch, rss, match in zip(batches, rss_stack, matches):
                 est = TrackEstimate(

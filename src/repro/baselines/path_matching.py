@@ -23,6 +23,7 @@ from repro.baselines.sequences import sign_vector_from_rss, sign_vectors_from_rs
 from repro.core.tracker import TrackEstimate, TrackResult
 from repro.geometry.faces import FaceMap
 from repro.geometry.primitives import enumerate_pairs
+from repro.obs import metrics as obs
 from repro.rf.channel import SampleBatch
 
 __all__ = ["PathMatchingTracker"]
@@ -186,6 +187,11 @@ class PathMatchingTracker:
                 )
             )
         estimates = self._decode(rounds)
+        if obs.enabled():
+            obs.counter("baselines.pm.rounds").inc(len(estimates))
+            obs.histogram("baselines.pm.beam_width").observe(
+                min(self.beam_width, self.face_map.n_faces)
+            )
         result = TrackResult()
         for est, rnd in zip(estimates, rounds):
             result.append(est, rnd.true_position)

@@ -5,9 +5,13 @@
     fttt fig12a --quick
     fttt outdoor
     fttt sampling-times --sensors 20 --confidence 0.99
+    fttt stats paper-baseline         # run a preset under repro.obs, print metrics
+    fttt run sparse --stats --obs-out obs/
 
 Every experiment prints the series the corresponding paper figure plots
-and (with ``--out``) writes CSV next to it.
+and (with ``--out``) writes CSV next to it.  ``--stats`` runs any
+command under :mod:`repro.obs` and prints the metrics table afterwards;
+``--obs-out DIR`` additionally writes ``metrics.json`` + ``trace.jsonl``.
 """
 
 from __future__ import annotations
@@ -245,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--quick", action="store_true", help="coarse grid, short runs")
         p.add_argument("--out", type=str, default=None, help="directory for CSV output")
+        _obs_options(p)
 
     p10 = sub.add_parser("fig10", help=EXPERIMENTS["fig10"])
     common(p10)
@@ -287,9 +292,41 @@ def build_parser() -> argparse.ArgumentParser:
     prun.add_argument("--trackers", type=str, default="fttt,fttt-extended,pm,direct-mle")
     prun.add_argument("--seed", type=int, default=0)
     prun.add_argument("--rounds", type=int, default=None)
+    _obs_options(prun)
     prun.set_defaults(func=cmd_run)
 
+    pstat = sub.add_parser(
+        "stats", help="run a preset under repro.obs and print the metrics table"
+    )
+    pstat.add_argument(
+        "preset", nargs="?", default="paper-baseline", help="preset name (see 'run list')"
+    )
+    pstat.add_argument("--trackers", type=str, default="fttt,fttt-exhaustive")
+    pstat.add_argument("--seed", type=int, default=0)
+    pstat.add_argument("--rounds", type=int, default=20)
+    pstat.add_argument(
+        "--dropout", type=float, default=0.0, help="per-round sensor dropout probability"
+    )
+    pstat.add_argument(
+        "--obs-out", type=str, default=None, help="directory for metrics.json + trace.jsonl"
+    )
+    pstat.set_defaults(func=cmd_stats, stats=True)
+
     return parser
+
+
+def _obs_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="run under repro.obs and print the metrics table afterwards",
+    )
+    p.add_argument(
+        "--obs-out",
+        type=str,
+        default=None,
+        help="directory for metrics.json + trace.jsonl (implies --stats)",
+    )
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -322,9 +359,43 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Run a preset under observability; main() prints/writes the metrics."""
+    from repro.analysis.metrics import compare_trackers
+    from repro.network.faults import IndependentDropout
+    from repro.sim.presets import make_preset
+    from repro.sim.runner import run_all_trackers
+
+    scenario = make_preset(args.preset, seed=args.seed)
+    faults = IndependentDropout(p=args.dropout) if args.dropout > 0 else None
+    results = run_all_trackers(
+        scenario, args.trackers.split(","), args.seed + 1, faults=faults, n_rounds=args.rounds
+    )
+    print(
+        f"preset {args.preset}: {scenario.n_sensors} sensors, "
+        f"{scenario.face_map.n_faces} faces, dropout p = {args.dropout}"
+    )
+    print(format_table(compare_trackers(results), title="tracking error (metres)"))
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    obs_out = getattr(args, "obs_out", None)
+    if not (getattr(args, "stats", False) or obs_out):
+        return args.func(args)
+
+    import repro.obs as obs
+
+    trace_path = str(Path(obs_out) / "trace.jsonl") if obs_out else None
+    with obs.observe(trace_path=trace_path) as reg:
+        rc = args.func(args)
+    if obs_out:
+        path = obs.write_metrics(Path(obs_out) / "metrics.json", reg)
+        print(f"\nwrote {path}")
+    print()
+    print(obs.format_metrics(reg.snapshot()))
+    return rc
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.matching import ExhaustiveMatcher, MatchResult
 from repro.geometry.faces import FaceMap
+from repro.obs import metrics as obs
 
 __all__ = ["HeuristicMatcher"]
 
@@ -91,8 +92,11 @@ class HeuristicMatcher:
         ``Initialization()``.
         """
         fm = self.face_map
+        record = obs.enabled()
         start = start_face if start_face is not None else self._last_face
         if start is None:
+            if record:
+                obs.counter("core.heuristic.init_scans").inc()
             result = self._exhaustive.match(vector)
             self._last_face = result.face_id
             return result
@@ -102,6 +106,7 @@ class HeuristicMatcher:
         current = int(start)
         current_d2 = float(self._sq_distance_to_faces(vector, np.array([current]))[0])
         visited = 1
+        steps = 0
         for _ in range(self.max_steps):
             nbrs = fm.neighbors(current)
             if self.hops == 2 and len(nbrs):
@@ -121,10 +126,18 @@ class HeuristicMatcher:
             if d2[best] < current_d2 - 1e-12:
                 current = int(nbrs[best])
                 current_d2 = float(d2[best])
+                steps += 1
             else:
                 break
 
+        if record:
+            obs.counter("core.heuristic.rounds").inc()
+            obs.histogram("core.heuristic.steps").observe(steps)
+            obs.histogram("core.heuristic.visited").observe(visited)
+
         if self.fallback and current_d2 > self.fallback_sq_distance:
+            if record:
+                obs.counter("core.heuristic.fallbacks").inc()
             result = self._exhaustive.match(vector)
             self._last_face = result.face_id
             return MatchResult(

@@ -8,6 +8,7 @@ it into a face; the face centroid (mean of tied faces) is the estimate.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Literal
 
@@ -23,6 +24,8 @@ from repro.core.vectors import (
 )
 from repro.geometry.faces import FaceMap
 from repro.geometry.primitives import enumerate_pairs
+from repro.obs import metrics as obs
+from repro.obs.tracing import trace_event
 from repro.rf.channel import SampleBatch
 
 __all__ = ["FTTTracker", "TrackEstimate", "TrackResult"]
@@ -188,13 +191,33 @@ class FTTTracker:
         vector = self.build_vector(rss)
         match: MatchResult = self.matcher.match(vector)
         n_reporting = int((~np.isnan(rss).all(axis=0)).sum())
-        return TrackEstimate(
+        est = TrackEstimate(
             t=t,
             position=match.position,
             face_ids=match.face_ids,
             sq_distance=match.sq_distance,
             n_reporting=n_reporting,
             visited_faces=match.visited,
+        )
+        if obs.enabled():
+            self._record_round(est, int(np.isnan(vector).sum()))
+        return est
+
+    def _record_round(self, est: TrackEstimate, masked_pairs: int) -> None:
+        """Per-round metrics + trace event (Eq. 7 ``*`` counts and match work)."""
+        obs.counter("tracker.rounds").inc()
+        obs.histogram("tracker.masked_pairs").observe(masked_pairs)
+        obs.histogram("tracker.ties").observe(len(est.face_ids))
+        trace_event(
+            "round",
+            t=est.t,
+            mode=self.mode,
+            face=int(est.face_ids[0]),
+            n_ties=len(est.face_ids),
+            sq_distance=est.sq_distance,
+            masked_pairs=masked_pairs,
+            n_reporting=est.n_reporting,
+            visited_faces=est.visited_faces,
         )
 
     def localize_batch(self, batch: SampleBatch, t: "float | None" = None) -> TrackEstimate:
@@ -215,13 +238,14 @@ class FTTTracker:
         per-round loop, an order of magnitude faster.
         """
         batches = list(batches)
+        record = obs.enabled()
         if isinstance(self.matcher, ExhaustiveMatcher) and len(batches) > 1:
             stacked = self._stack_rss(batches)
             if stacked is not None:
                 vectors = self.build_vectors(stacked)
                 matches = self.matcher.match_many(vectors)
                 result = TrackResult()
-                for batch, rss, match in zip(batches, stacked, matches):
+                for b, (batch, rss, match) in enumerate(zip(batches, stacked, matches)):
                     est = TrackEstimate(
                         t=float(batch.times[0]),
                         position=match.position,
@@ -230,11 +254,16 @@ class FTTTracker:
                         n_reporting=int((~np.isnan(rss).all(axis=0)).sum()),
                         visited_faces=match.visited,
                     )
+                    if record:
+                        self._record_round(est, int(np.isnan(vectors[b]).sum()))
                     result.append(est, batch.mean_position)
                 return result
         result = TrackResult()
         for batch in batches:
+            t0 = time.perf_counter() if record else 0.0
             est = self.localize_batch(batch)
+            if record:
+                obs.histogram("tracker.round_seconds").observe(time.perf_counter() - t0)
             result.append(est, batch.mean_position)
         return result
 

@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.geometry.faces import FaceMap, build_certain_face_map, build_face_map
 from repro.geometry.grid import Grid
+from repro.obs import metrics as obs
 
 __all__ = [
     "FaceMapCache",
@@ -209,16 +210,23 @@ class FaceMapCache:
         key = face_map_cache_key(
             nodes, grid, c, sensing_range=sensing_range, split_components=split_components, kind=kind
         )
+        record = obs.enabled()
         fm = self._entries.get(key)
         if fm is not None:
             self._entries.move_to_end(key)
             self.hits += 1
+            if record:
+                obs.counter("geometry.cache.hits").inc()
             return self._view(fm)
         fm = self._disk_load(key)
         if fm is not None:
             self.disk_hits += 1
+            if record:
+                obs.counter("geometry.cache.disk_hits").inc()
         else:
             self.misses += 1
+            if record:
+                obs.counter("geometry.cache.misses").inc()
             if kind == "uncertain":
                 fm = build_face_map(
                     nodes,
@@ -239,6 +247,8 @@ class FaceMapCache:
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                if record:
+                    obs.counter("geometry.cache.evictions").inc()
         return self._view(fm)
 
 
@@ -273,24 +283,28 @@ def default_face_map_cache() -> FaceMapCache:
     return _default_cache
 
 
+_KEEP = object()  # sentinel: "leave this setting as it is"
+
+
 def configure_face_map_cache(
     *,
     maxsize: "int | None" = None,
-    disk_dir: "str | os.PathLike | None" = None,
+    disk_dir: "str | os.PathLike | None" = _KEEP,
     enabled: "bool | None" = None,
 ) -> FaceMapCache:
     """Replace the process-global cache; returns the new instance.
 
     ``enabled=False`` makes :func:`get_face_map` bypass the cache (builds
     are then exactly the uncached code path); ``enabled=None`` restores
-    environment-variable control.
+    environment-variable control.  ``disk_dir=None`` removes the disk
+    tier; omitting it keeps the current directory.
     """
     global _default_cache, _enabled_override
     _enabled_override = enabled
     current = default_face_map_cache()
     _default_cache = FaceMapCache(
         maxsize=current.maxsize if maxsize is None else maxsize,
-        disk_dir=current.disk_dir if disk_dir is None else disk_dir,
+        disk_dir=current.disk_dir if disk_dir is _KEEP else disk_dir,
     )
     return _default_cache
 

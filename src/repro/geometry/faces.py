@@ -18,6 +18,7 @@ from repro.geometry.bisector import certain_signatures
 from repro.geometry.components import label_equal_regions
 from repro.geometry.grid import Grid
 from repro.geometry.primitives import enumerate_pairs
+from repro.obs import metrics as obs
 
 __all__ = ["Face", "FaceMap", "build_face_map", "build_certain_face_map"]
 
@@ -223,6 +224,10 @@ class FaceMap:
         d2 = self.distances_to(vector, soft=soft)
         best = float(d2.min())
         ties = np.flatnonzero(d2 <= best + self.tie_tolerance(best))
+        if obs.enabled():
+            obs.counter("geometry.match.rounds").inc()
+            obs.histogram("geometry.match.ties").observe(len(ties))
+            obs.gauge("geometry.match.candidate_faces").set(self.n_faces)
         return ties, best
 
     def match_many(
@@ -241,6 +246,13 @@ class FaceMap:
             best = float(row.min())
             ties.append(np.flatnonzero(row <= best + self.tie_tolerance(best)))
             bests[b] = best
+        if obs.enabled():
+            obs.counter("geometry.match.rounds").inc(len(ties))
+            obs.counter("geometry.match.batched_rounds").inc(len(ties))
+            h = obs.histogram("geometry.match.ties")
+            for t in ties:
+                h.observe(len(t))
+            obs.gauge("geometry.match.candidate_faces").set(self.n_faces)
         return ties, bests
 
     def match_positions_many(self, vectors: np.ndarray, *, soft: bool = False) -> np.ndarray:

@@ -1,0 +1,118 @@
+"""``repro.obs`` — zero-dependency observability for the tracking stack.
+
+Two cooperating pieces:
+
+* :mod:`repro.obs.metrics` — a process-local registry of counters,
+  gauges, and exact-value histograms, with a no-op fast path when
+  disabled (the default).  Instrumented hot paths — the face-map cache,
+  the matching kernels, Algorithm 2's hill climb, the tracking loop,
+  the fault layer — all record here.
+* :mod:`repro.obs.tracing` — a structured JSONL event tracer with
+  spans, emitting one event per localization round (matched face,
+  masked-pair count, matcher work) plus sweep-level spans.
+
+Enable with ``REPRO_OBS=1`` (and ``REPRO_OBS_TRACE=/path/trace.jsonl``
+for events), or programmatically::
+
+    with repro.obs.observe(trace_path="out/trace.jsonl") as reg:
+        run_tracking(...)
+    print(repro.obs.format_metrics(reg.snapshot()))
+
+Sweeps take the higher-level route: ``parallel_sweep(..., obs_dir=d)``
+enables the layer for the duration — including inside pool workers,
+whose registries are merged back — and writes ``metrics.json`` +
+``trace.jsonl`` into ``d``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.io import format_metrics, write_metrics
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    enabled,
+    gauge,
+    histogram,
+    registry,
+    reset,
+    set_enabled,
+    snapshot,
+)
+from repro.obs.tracing import Tracer, set_tracer, span, trace_event, tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "configure_observability",
+    "counter",
+    "enabled",
+    "format_metrics",
+    "gauge",
+    "histogram",
+    "observe",
+    "registry",
+    "reset",
+    "set_enabled",
+    "set_tracer",
+    "snapshot",
+    "span",
+    "trace_event",
+    "tracer",
+    "write_metrics",
+]
+
+
+def configure_observability(
+    *,
+    enabled: "bool | None" = None,
+    trace_path: "str | None" = None,
+) -> MetricsRegistry:
+    """Configure the process-global observability state.
+
+    ``enabled`` forces metrics on/off (``None`` restores ``REPRO_OBS``
+    env control); ``trace_path`` installs a JSONL tracer at that path
+    (empty string / ``None`` removes any tracer).  Returns the registry.
+    """
+    set_enabled(enabled)
+    set_tracer(Tracer(trace_path) if trace_path else None)
+    return registry()
+
+
+@contextmanager
+def observe(*, trace_path: "str | None" = None, fresh: bool = True):
+    """Temporarily enable observability; yields the metrics registry.
+
+    ``fresh=True`` (default) resets the registry on entry so the yielded
+    metrics describe exactly the enclosed work.  Prior enabled/tracer
+    state is restored on exit.
+    """
+    from repro.obs import metrics as _metrics
+    from repro.obs import tracing as _tracing
+
+    prev_override = _metrics._enabled_override
+    prev_tracer = _tracing._tracer
+    prev_checked = _tracing._env_tracer_checked
+    if fresh:
+        reset()
+    set_enabled(True)
+    if trace_path:
+        # do not close the previous tracer: it is restored on exit
+        _tracing._tracer = Tracer(trace_path)
+        _tracing._env_tracer_checked = True
+    try:
+        yield registry()
+    finally:
+        set_enabled(prev_override)
+        if trace_path:
+            if _tracing._tracer is not None:
+                _tracing._tracer.close()
+            _tracing._tracer = prev_tracer
+            _tracing._env_tracer_checked = prev_checked

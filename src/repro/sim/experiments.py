@@ -15,6 +15,8 @@ import numpy as np
 
 from repro.analysis.metrics import summarize_errors
 from repro.config import SimulationConfig
+from repro.network.faults import FaultModel
+from repro.obs.tracing import span
 from repro.rng import spawn_rngs
 from repro.sim.runner import run_all_trackers
 from repro.sim.scenario import Scenario, make_scenario
@@ -61,13 +63,16 @@ def replicate_mean_error(
     seed: int = 0,
     deployment: str = "random",
     params: "dict | None" = None,
+    faults: "FaultModel | None" = None,
 ) -> list[SweepRecord]:
     """Run every tracker over *n_reps* independent worlds; aggregate errors.
 
     ``mean_error`` averages each replication's mean tracking error;
     ``std_error`` is the pooled standard deviation of *all* per-round
     errors across replications (the quantity of Figs. 11c / 12d);
-    ``mean_of_std`` averages the per-run stds.
+    ``mean_of_std`` averages the per-run stds.  ``faults`` applies the
+    given fault model to every replication's batch stream (the Eq. 6-7
+    masking then shows up in the per-round observability metrics).
     """
     if n_reps < 1:
         raise ValueError(f"need at least one replication, got {n_reps}")
@@ -78,8 +83,9 @@ def replicate_mean_error(
     per_tracker_all_errors: dict[str, list[np.ndarray]] = {n: [] for n in tracker_names}
     per_tracker_stds: dict[str, list[float]] = {n: [] for n in tracker_names}
     for rep in range(n_reps):
-        scenario = make_scenario(config, deployment=deployment, seed=rngs[2 * rep])
-        results = run_all_trackers(scenario, tracker_names, rngs[2 * rep + 1])
+        with span("replication", rep=rep, seed=seed, **params):
+            scenario = make_scenario(config, deployment=deployment, seed=rngs[2 * rep])
+            results = run_all_trackers(scenario, tracker_names, rngs[2 * rep + 1], faults=faults)
         for name, res in results.items():
             summary = summarize_errors(res)
             per_tracker_means[name].append(summary.mean)

@@ -10,15 +10,31 @@ insist on).
 Workers re-import ``repro`` (fork or spawn both work); tasks are coarse
 (one full parameter point per task) so IPC overhead is negligible next to
 the seconds-long tracking runs inside.
+
+With ``obs_dir`` set, the sweep runs under :mod:`repro.obs`: workers
+enable the metrics registry (via the ``REPRO_OBS`` environment variable,
+which both fork and spawn children inherit), snapshot it per task, and
+ship the snapshot back with the records; the parent merges every
+snapshot and writes ``metrics.json`` + ``trace.jsonl`` into ``obs_dir``.
+Pool workers do not write to the parent's trace file — inline runs
+(``n_workers=1``) emit full per-round events, pooled runs emit
+sweep-level events only.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+from contextlib import contextmanager
+from pathlib import Path
 from typing import Sequence
 
 from repro.config import SimulationConfig
+from repro.network.faults import FaultModel
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+from repro.obs.io import write_metrics
+from repro.obs.tracing import trace_event
 from repro.sim.experiments import SweepRecord, replicate_mean_error
 
 __all__ = ["parallel_sweep", "recommended_workers"]
@@ -45,20 +61,77 @@ def recommended_workers(n_tasks: int) -> int:
     return max(1, min(n_tasks, cores))
 
 
-def _run_point(args: tuple) -> list[SweepRecord]:
-    config_dict, tracker_names, n_reps, seed, params, deployment = args
+def _run_point(args: tuple) -> "tuple[list[SweepRecord], dict | None]":
+    config_dict, tracker_names, n_reps, seed, params, deployment, faults = args
     grid_cfg = config_dict.pop("grid")
     from repro.config import GridConfig
 
+    # per-task metrics: reset before, snapshot after, so a reused worker
+    # (or the inline path) reports each point exactly once
+    observing = obs_metrics.enabled()
+    if observing:
+        obs_metrics.reset()
     config = SimulationConfig(**config_dict, grid=GridConfig(**grid_cfg))
-    return replicate_mean_error(
+    records = replicate_mean_error(
         config,
         tracker_names,
         n_reps=n_reps,
         seed=seed,
         deployment=deployment,
         params=params,
+        faults=faults,
     )
+    return records, obs_metrics.snapshot() if observing else None
+
+
+@contextmanager
+def _sweep_environment(cache_dir, obs_dir):
+    """Scoped env/config for one sweep: disk cache dir + observability.
+
+    Everything mutated here — ``REPRO_FACE_CACHE_DIR``, ``REPRO_OBS``,
+    the process cache configuration, the active tracer — is restored on
+    exit, so repeated sweeps (and tests using ``tmp_path``) cannot leak
+    state into each other.
+    """
+    from repro.geometry.cache import configure_face_map_cache, default_face_map_cache
+
+    prev_cache_env = os.environ.get("REPRO_FACE_CACHE_DIR")
+    prev_obs_env = os.environ.get("REPRO_OBS")
+    prev_disk_dir = default_face_map_cache().disk_dir
+    prev_tracer = obs_tracing._tracer
+    prev_tracer_checked = obs_tracing._env_tracer_checked
+    out: "Path | None" = None
+    try:
+        if cache_dir is not None:
+            # environment propagates to fork and spawn workers alike, and
+            # reconfiguring the parent cache covers the inline path too
+            os.environ["REPRO_FACE_CACHE_DIR"] = str(cache_dir)
+            configure_face_map_cache(disk_dir=str(cache_dir))
+        if obs_dir is not None:
+            out = Path(obs_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            os.environ["REPRO_OBS"] = "1"
+            # install directly (not via set_tracer) so the previous tracer
+            # stays open and can be restored on exit
+            obs_tracing._tracer = obs_tracing.Tracer(out / "trace.jsonl")
+            obs_tracing._env_tracer_checked = True
+        yield out
+    finally:
+        if cache_dir is not None:
+            if prev_cache_env is None:
+                os.environ.pop("REPRO_FACE_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_FACE_CACHE_DIR"] = prev_cache_env
+            configure_face_map_cache(disk_dir=prev_disk_dir)
+        if obs_dir is not None:
+            if prev_obs_env is None:
+                os.environ.pop("REPRO_OBS", None)
+            else:
+                os.environ["REPRO_OBS"] = prev_obs_env
+            if obs_tracing._tracer is not None and obs_tracing._tracer is not prev_tracer:
+                obs_tracing._tracer.close()
+            obs_tracing._tracer = prev_tracer
+            obs_tracing._env_tracer_checked = prev_tracer_checked
 
 
 def parallel_sweep(
@@ -71,6 +144,8 @@ def parallel_sweep(
     n_workers: "int | None" = None,
     seed_stride: int = 1000,
     cache_dir: "str | os.PathLike | None" = None,
+    faults: "FaultModel | None" = None,
+    obs_dir: "str | os.PathLike | None" = None,
 ) -> list[SweepRecord]:
     """Run ``replicate_mean_error`` for every (config, params) point in a pool.
 
@@ -90,34 +165,78 @@ def parallel_sweep(
         across workers and across repeated ``parallel_sweep`` calls.
         Results are bit-identical either way.  (Under ``fork`` start
         methods the parent's warm in-memory cache is additionally
-        inherited copy-on-write for free.)
+        inherited copy-on-write for free.)  The environment mutation is
+        scoped to this call.
+    faults : optional fault model applied to every replication's batch
+        stream (forwarded to :func:`replicate_mean_error`).
+    obs_dir : when given, the sweep runs with :mod:`repro.obs` enabled
+        (in workers too) and writes ``metrics.json`` — the merged
+        registries of every task — plus ``trace.jsonl`` into this
+        directory.  Results are bit-identical with or without it.  After
+        the call the process registry holds the merged sweep metrics.
     """
     if not points:
         raise ValueError("no sweep points given")
-    if cache_dir is not None:
-        # environment propagates to fork and spawn workers alike, and
-        # reconfiguring the parent cache covers the inline path too
-        from repro.geometry.cache import configure_face_map_cache
-
-        os.environ["REPRO_FACE_CACHE_DIR"] = str(cache_dir)
-        configure_face_map_cache(disk_dir=str(cache_dir))
-    tasks = [
-        (
-            {k: v for k, v in cfg.as_dict().items()},
-            list(tracker_names),
-            n_reps,
-            seed + i * seed_stride,
-            dict(params),
-            deployment,
-        )
-        for i, (cfg, params) in enumerate(points)
-    ]
-    if n_workers is None:
-        n_workers = recommended_workers(len(tasks))
-    if n_workers == 1:
-        nested = [_run_point(t) for t in tasks]
-    else:
-        ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
-        with ctx.Pool(processes=n_workers) as pool:
-            nested = pool.map(_run_point, tasks)
-    return [rec for group in nested for rec in group]
+    with _sweep_environment(cache_dir, obs_dir) as obs_out:
+        tasks = [
+            (
+                {k: v for k, v in cfg.as_dict().items()},
+                list(tracker_names),
+                n_reps,
+                seed + i * seed_stride,
+                dict(params),
+                deployment,
+                faults,
+            )
+            for i, (cfg, params) in enumerate(points)
+        ]
+        if n_workers is None:
+            n_workers = recommended_workers(len(tasks))
+        if n_workers == 1:
+            nested = [_run_point(t) for t in tasks]
+        else:
+            ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+            with ctx.Pool(processes=n_workers) as pool:
+                nested = pool.map(_run_point, tasks)
+        records = [rec for group, _ in nested for rec in group]
+        if obs_out is not None:
+            merged = obs_metrics.MetricsRegistry()
+            for _, snap in nested:
+                if snap:
+                    merged.merge(snap)
+            merged.counter("sweep.points").inc(len(tasks))
+            merged.counter("sweep.records").inc(len(records))
+            merged.counter("sweep.workers").inc(n_workers)
+            # stable schema: cache counters always present, even at zero
+            for name in (
+                "geometry.cache.hits",
+                "geometry.cache.misses",
+                "geometry.cache.disk_hits",
+                "geometry.cache.evictions",
+            ):
+                merged.counter(name)
+            trace_event(
+                "sweep",
+                points=len(tasks),
+                workers=n_workers,
+                records=len(records),
+                trackers=list(tracker_names),
+            )
+            write_metrics(
+                obs_out / "metrics.json",
+                merged,
+                extra={
+                    "sweep": {
+                        "points": len(tasks),
+                        "n_reps": n_reps,
+                        "seed": seed,
+                        "workers": n_workers,
+                        "trackers": list(tracker_names),
+                    }
+                },
+            )
+            # leave the merged totals in the process registry for callers
+            # (the CLI prints them after the sweep returns)
+            obs_metrics.reset()
+            obs_metrics.registry().merge(merged.snapshot())
+    return records

@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.tracker import TrackResult
 from repro.network.basestation import BaseStation
 from repro.network.faults import FaultModel
+from repro.obs import metrics as obs
 from repro.rf.channel import SampleBatch
 from repro.rng import ensure_rng
 from repro.sim.scenario import Scenario
@@ -48,15 +49,21 @@ def generate_batches(
     if n_rounds < 1:
         raise ValueError(f"need at least one round, got {n_rounds}")
     period = scenario.sampler.group_duration_s
+    record = obs.enabled()
     batches: list[SampleBatch] = []
     for r in range(n_rounds):
         t0 = r * period
         drop = faults.drop_mask(scenario.n_sensors, r, rng) if faults is not None else None
+        if record and drop is not None:
+            obs.counter("faults.rounds").inc()
+            obs.histogram("faults.dropped_sensors").observe(int(drop.sum()))
         batch = scenario.sampler.sample_group(scenario.mobility.position, t0, rng, drop_mask=drop)
         if basestation is not None:
             rnd = basestation.aggregate(batch, t0, rng)
             batch = SampleBatch(rss=rnd.effective_rss, times=batch.times, positions=batch.positions)
         batches.append(batch)
+    if record:
+        obs.counter("runner.rounds").inc(n_rounds)
     return batches
 
 

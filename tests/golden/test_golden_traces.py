@@ -1,0 +1,60 @@
+"""Golden-trace regression: fixed scenarios must replay bit-exactly.
+
+The committed ``trace_*.json`` fixtures hold ``float.hex``-serialized
+per-round estimates for a fault-free and a faulty scenario.  Re-running
+the scenario must reproduce every number bit-for-bit — tolerance zero.
+If a kernel change intentionally moves the numbers, regenerate with
+``PYTHONPATH=src python tools/make_golden_traces.py`` and review the diff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.golden.golden_traces import (
+    FORMAT_VERSION,
+    SCENARIOS,
+    build_trace,
+    golden_path,
+    load_golden,
+)
+
+NAMES = sorted(SCENARIOS)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_fixture_exists_and_versioned(name):
+    assert golden_path(name).is_file(), (
+        f"missing golden fixture {golden_path(name)}; generate with "
+        "PYTHONPATH=src python tools/make_golden_traces.py"
+    )
+    assert load_golden(name)["format_version"] == FORMAT_VERSION
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_trace_replays_bit_exactly(name):
+    golden = load_golden(name)
+    fresh = build_trace(name)
+    assert fresh["config"] == golden["config"], "golden scenario definition drifted"
+    assert sorted(fresh["trackers"]) == sorted(golden["trackers"])
+    for tracker, want in golden["trackers"].items():
+        got = fresh["trackers"][tracker]
+        assert got["mean_error"] == want["mean_error"], f"{name}/{tracker}: mean error moved"
+        assert len(got["rounds"]) == len(want["rounds"])
+        for r, (g, w) in enumerate(zip(got["rounds"], want["rounds"])):
+            assert g == w, f"{name}/{tracker} round {r} diverged: {g} != {w}"
+
+
+def test_baseline_and_faulty_differ():
+    """The fault injection must actually change the numbers being pinned."""
+    a = load_golden("baseline")
+    b = load_golden("faulty")
+    assert a["trackers"]["fttt"]["rounds"] != b["trackers"]["fttt"]["rounds"]
+
+
+def test_faulty_trace_has_masked_rounds():
+    """The faulty fixture exercises Eq. 6: some sensors stop reporting."""
+    golden = load_golden("faulty")
+    n_reporting = [r["n_reporting"] for r in golden["trackers"]["fttt"]["rounds"]]
+    baseline = [r["n_reporting"] for r in load_golden("baseline")["trackers"]["fttt"]["rounds"]]
+    assert min(n_reporting) < max(baseline)

@@ -18,6 +18,9 @@ from repro.sim.parallel import parallel_sweep
 
 TINY = SimulationConfig(duration_s=6.0, grid=GridConfig(cell_size_m=4.0))
 
+# spawns real worker pools; skippable in the quick loop via -m "not slow"
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(autouse=True)
 def _fresh_cache(monkeypatch):

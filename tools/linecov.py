@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Zero-dependency line coverage for the repro package.
+
+The CI coverage gate runs on ``pytest-cov``; this tool answers the same
+question — what fraction of ``src/repro`` lines does the suite execute —
+without installing anything, so the gate value can be measured (and
+re-measured after a refactor) in the bare container.
+
+Usage::
+
+    PYTHONPATH=src python tools/linecov.py [options] [-- pytest-args...]
+
+    --fail-under PCT   exit 2 if total coverage is below PCT
+                       (also via LINECOV_FAIL_UNDER)
+    --out FILE         write a JSON report (also via LINECOV_OUT)
+    --top N            show the N worst-covered files (default 15)
+
+Executable lines come from compiling each source file and walking the
+code objects' ``co_lines`` tables — the same ground truth CPython's
+tracer reports against.  Executed lines come from ``sys.settrace`` /
+``threading.settrace``, so multiprocessing pool *workers are not traced*
+(same caveat as pytest-cov without its concurrency plugins): treat the
+number as a floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO / "src" / "repro"
+
+
+def executable_lines(path: Path) -> set[int]:
+    """All line numbers the compiled module can report 'line' events for."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines: set[int] = set()
+    stack = [code]
+    while stack:
+        co = stack.pop()
+        for const in co.co_consts:
+            if hasattr(const, "co_lines"):
+                stack.append(const)
+        for _, _, lineno in co.co_lines():
+            if lineno is not None:
+                lines.add(lineno)
+    return lines
+
+
+def collect_executable() -> dict[str, set[int]]:
+    table: dict[str, set[int]] = {}
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        lines = executable_lines(path)
+        if lines:
+            table[str(path)] = lines
+    return table
+
+
+class LineCollector:
+    """settrace hooks recording (filename, lineno) for files under src/repro."""
+
+    def __init__(self) -> None:
+        self.executed: dict[str, set[int]] = {}
+        self._prefix = str(SRC_ROOT) + os.sep
+
+    def _local(self, frame, event, arg):
+        if event == "line":
+            self.executed.setdefault(frame.f_code.co_filename, set()).add(frame.f_lineno)
+        return self._local
+
+    def global_trace(self, frame, event, arg):
+        filename = frame.f_code.co_filename
+        if filename.startswith(self._prefix):
+            self.executed.setdefault(filename, set()).add(frame.f_lineno)
+            return self._local
+        return None  # don't trace frames outside the package: keeps overhead sane
+
+    def install(self) -> None:
+        threading.settrace(self.global_trace)
+        sys.settrace(self.global_trace)
+
+    def uninstall(self) -> None:
+        sys.settrace(None)
+        threading.settrace(None)
+
+
+def report(
+    executable: dict[str, set[int]], executed: dict[str, set[int]], top: int
+) -> dict:
+    rows = []
+    total_exec = total_hit = 0
+    for filename, lines in sorted(executable.items()):
+        hit = len(lines & executed.get(filename, set()))
+        total_exec += len(lines)
+        total_hit += hit
+        rows.append(
+            {
+                "file": str(Path(filename).relative_to(REPO)),
+                "lines": len(lines),
+                "covered": hit,
+                "percent": round(100.0 * hit / len(lines), 2),
+            }
+        )
+    percent = 100.0 * total_hit / total_exec if total_exec else 0.0
+    worst = sorted(rows, key=lambda r: r["percent"])[:top]
+    width = max(len(r["file"]) for r in rows) if rows else 10
+    print(f"\n{'file':<{width}}  {'lines':>6} {'cov':>6} {'pct':>7}")
+    for r in worst:
+        print(f"{r['file']:<{width}}  {r['lines']:>6} {r['covered']:>6} {r['percent']:>6.1f}%")
+    if len(rows) > len(worst):
+        print(f"... ({len(rows) - len(worst)} better-covered files not shown)")
+    print(f"\nTOTAL {total_hit}/{total_exec} lines = {percent:.2f}%")
+    return {"percent": round(percent, 2), "total_lines": total_exec, "covered": total_hit, "files": rows}
+
+
+def main(argv: "list[str]") -> int:
+    if "--" in argv:
+        split = argv.index("--")
+        own, pytest_args = argv[:split], argv[split + 1 :]
+    else:
+        own, pytest_args = argv, ["-q"]
+    ap = argparse.ArgumentParser(description=__doc__, add_help=True)
+    ap.add_argument("--fail-under", type=float, default=os.environ.get("LINECOV_FAIL_UNDER"))
+    ap.add_argument("--out", default=os.environ.get("LINECOV_OUT"))
+    ap.add_argument("--top", type=int, default=15)
+    args = ap.parse_args(own)
+
+    src = str(REPO / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    executable = collect_executable()
+
+    import pytest  # after sys.path setup
+
+    collector = LineCollector()
+    collector.install()
+    try:
+        exit_code = pytest.main(pytest_args)
+    finally:
+        collector.uninstall()
+    if exit_code != 0:
+        print(f"pytest failed (exit {exit_code}); coverage not evaluated")
+        return int(exit_code)
+
+    summary = report(executable, collector.executed, args.top)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"wrote {out}")
+    if args.fail_under is not None and summary["percent"] < float(args.fail_under):
+        print(f"FAIL: coverage {summary['percent']:.2f}% < fail-under {float(args.fail_under):.2f}%")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Regenerate the committed golden-trace fixtures.
+
+Usage::
+
+    PYTHONPATH=src python tools/make_golden_traces.py [name ...]
+
+With no arguments every scenario in
+:mod:`tests.golden.golden_traces.SCENARIOS` is rewritten.  Only run this
+after an *intentional* numerical change, and review the JSON diff.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+for p in (str(REPO), str(REPO / "src")):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+from tests.golden.golden_traces import SCENARIOS, write_golden  # noqa: E402
+
+
+def main(argv: "list[str]") -> int:
+    names = argv or sorted(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}; known: {', '.join(sorted(SCENARIOS))}")
+        return 2
+    for name in names:
+        path = write_golden(name)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
