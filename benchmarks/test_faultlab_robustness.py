@@ -1,0 +1,108 @@
+"""FTOL-2 — value faults and graceful degradation (fault lab).
+
+The paper's Eq. 6/7 machinery only defends against *omission*: a
+sensor that keeps reporting stuck, drifted, or Byzantine values poisons
+the sampling vector instead of vanishing into ``*``.  This benchmark
+runs the fault-lab campaign over every value-fault family and asserts
+the degradation policy's claim:
+
+* FTTT-with-degradation (``fttt-robust``) is at least as accurate as
+  the naive-zeroing strawman (``fttt-zero``) under **every** injected
+  value-fault type, at matched seeds;
+* aggregated over the value-fault cells it strictly beats plain FTTT;
+* the whole campaign is bit-identical across ``REPRO_WORKERS=1`` vs 4.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.faultlab.campaign import (
+    VALUE_FAULT_FAMILIES,
+    campaign_config,
+    run_campaign,
+)
+
+from conftest import emit
+
+INTENSITIES = (0.0, 0.25)
+TRACKERS = ("fttt", "fttt-robust", "fttt-zero")
+SEED = 3
+REPS = 2
+
+
+def _fingerprint(result):
+    return [
+        (r.tracker, tuple(sorted(r.params.items())), r.mean_error, r.p95_error,
+         r.lost_track_rate, r.per_rep_means)
+        for r in result.records
+    ]
+
+
+def _run(workers: str):
+    prev = os.environ.get("REPRO_WORKERS")
+    os.environ["REPRO_WORKERS"] = workers
+    try:
+        return run_campaign(
+            VALUE_FAULT_FAMILIES,
+            INTENSITIES,
+            TRACKERS,
+            config=campaign_config(quick=True),
+            n_reps=REPS,
+            seed=SEED,
+        )
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_WORKERS", None)
+        else:
+            os.environ["REPRO_WORKERS"] = prev
+
+
+def test_faultlab_robustness(benchmark, results_dir):
+    result = benchmark.pedantic(lambda: _run("4"), rounds=1, iterations=1)
+
+    cell = {(r.params["fault"], r.params["intensity"], r.tracker): r for r in result.records}
+    hot = INTENSITIES[-1]
+
+    lines = ["family      intensity    fttt  robust    zero"]
+    for fam in VALUE_FAULT_FAMILIES:
+        for i in INTENSITIES:
+            lines.append(
+                f"{fam:10s}  {i:9.2f}  {cell[(fam, i, 'fttt')].mean_error:6.2f}  "
+                f"{cell[(fam, i, 'fttt-robust')].mean_error:6.2f}  "
+                f"{cell[(fam, i, 'fttt-zero')].mean_error:6.2f}"
+            )
+    emit("FTOL-2 — mean error under value faults (degradation vs strawmen)", lines)
+    (results_dir / "faultlab_robustness.csv").write_text(
+        "fault,intensity,tracker,mean_error,p95_error,lost_track_rate\n"
+        + "\n".join(
+            f'{r.params["fault"]},{r.params["intensity"]},{r.tracker},'
+            f"{r.mean_error:.4f},{r.p95_error:.4f},{r.lost_track_rate:.4f}"
+            for r in result.records
+        )
+    )
+
+    for fam in VALUE_FAULT_FAMILIES:
+        robust = cell[(fam, hot, "fttt-robust")]
+        zero = cell[(fam, hot, "fttt-zero")]
+        assert np.isfinite(robust.mean_error)
+        # the headline claim: degradation >= naive zeroing, every family
+        assert robust.mean_error <= zero.mean_error, (
+            f"{fam}: fttt-robust {robust.mean_error:.3f} worse than "
+            f"fttt-zero {zero.mean_error:.3f}"
+        )
+    # aggregated over the faulted cells, degradation strictly beats plain FTTT
+    robust_total = sum(cell[(f, hot, "fttt-robust")].mean_error for f in VALUE_FAULT_FAMILIES)
+    plain_total = sum(cell[(f, hot, "fttt")].mean_error for f in VALUE_FAULT_FAMILIES)
+    assert robust_total < plain_total
+    # the clean anchors agree: degradation must cost nothing when healthy
+    for fam in VALUE_FAULT_FAMILIES:
+        assert cell[(fam, 0.0, "fttt-robust")].mean_error == pytest.approx(
+            cell[(fam, 0.0, "fttt")].mean_error, rel=0.05
+        )
+
+    serial = _run("1")
+    assert _fingerprint(serial) == _fingerprint(result), (
+        "campaign records differ between REPRO_WORKERS=1 and 4"
+    )

@@ -46,6 +46,7 @@ EXPERIMENTS = {
     "sampling-times": "required grouping-sampling count (paper §5.1)",
     "ablations": "design-choice ablations: C calibration, matcher hops, soft signatures, noise structure",
     "density": "the §5.2 density trade-off: accuracy vs relay load / lifetime",
+    "faultlab": "fault-injection campaign: robustness curves per fault family x intensity",
 }
 
 
@@ -223,6 +224,49 @@ def cmd_density(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faultlab(args: argparse.Namespace) -> int:
+    from repro.faultlab.campaign import FAULT_FAMILIES, campaign_config, run_campaign
+
+    families = [f.strip() for f in args.families.split(",") if f.strip()]
+    for f in families:
+        if f not in FAULT_FAMILIES:
+            print(f"unknown fault family {f!r}; choose from {sorted(FAULT_FAMILIES)}")
+            return 2
+    intensities = [float(v) for v in args.intensities.split(",") if v.strip()]
+    trackers = [t.strip() for t in args.trackers.split(",") if t.strip()]
+    out = Path(args.out)
+    result = run_campaign(
+        families,
+        intensities,
+        trackers,
+        config=campaign_config(quick=args.quick),
+        n_reps=args.reps,
+        seed=args.seed,
+        out_dir=out,
+        n_workers=args.workers,
+    )
+    for family in families:
+        rows = {}
+        for tracker in trackers:
+            for r in result.curve(family, tracker):
+                rows[f'{tracker}@{r.params["intensity"]:.2f}'] = [
+                    r.mean_error,
+                    r.p95_error,
+                    r.lost_track_rate,
+                ]
+        print()
+        print(
+            format_table(
+                rows,
+                header=["mean", "p95", "lost"],
+                title=f"robustness: {family} (error m / lost-track rate vs intensity)",
+            )
+        )
+    print(f"\nwrote {result.csv_path}")
+    print(f"wrote {result.metrics_path}")
+    return 0
+
+
 def cmd_sampling_times(args: argparse.Namespace) -> int:
     n = args.sensors
     n_pairs = n * (n - 1) // 2
@@ -276,6 +320,32 @@ def build_parser() -> argparse.ArgumentParser:
     pde = sub.add_parser("density", help=EXPERIMENTS["density"])
     common(pde)
     pde.set_defaults(func=cmd_density)
+
+    pfl = sub.add_parser("faultlab", help=EXPERIMENTS["faultlab"])
+    pfl.add_argument(
+        "--families",
+        type=str,
+        default="dropout,byzantine,stuck,drift,regional",
+        help="comma-separated fault families to inject",
+    )
+    pfl.add_argument(
+        "--intensities",
+        type=str,
+        default="0.0,0.1,0.2,0.3",
+        help="comma-separated intensity grid (0 = clean anchor)",
+    )
+    pfl.add_argument("--trackers", type=str, default="fttt,fttt-robust,fttt-zero")
+    pfl.add_argument("--reps", type=int, default=2, help="replications per cell")
+    pfl.add_argument("--seed", type=int, default=0)
+    pfl.add_argument("--quick", action="store_true", help="coarse grid, short runs")
+    pfl.add_argument(
+        "--out",
+        type=str,
+        default="results/faultlab",
+        help="directory for robustness.csv + metrics.json + trace.jsonl",
+    )
+    pfl.add_argument("--workers", type=int, default=None, help="pool size (default: auto)")
+    pfl.set_defaults(func=cmd_faultlab)
 
     pst = sub.add_parser("sampling-times", help=EXPERIMENTS["sampling-times"])
     pst.add_argument("--sensors", type=int, default=20)

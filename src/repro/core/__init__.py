@@ -21,7 +21,7 @@ from repro.core.similarity import (
 from repro.core.matching import ExhaustiveMatcher, MatchResult
 from repro.core.heuristic import HeuristicMatcher
 from repro.core.extended import expected_extended_signatures, attach_soft_signatures
-from repro.core.tracker import FTTTracker, TrackEstimate, TrackResult
+from repro.core.tracker import DegradationPolicy, FTTTracker, TrackEstimate, TrackResult
 from repro.core.trajectory import (
     smooth_result,
     smoothness_metrics,
@@ -49,6 +49,7 @@ __all__ = [
     "expected_extended_signatures",
     "attach_soft_signatures",
     "MatchResult",
+    "DegradationPolicy",
     "FTTTracker",
     "TrackEstimate",
     "TrackResult",

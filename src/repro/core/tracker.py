@@ -28,10 +28,73 @@ from repro.obs import metrics as obs
 from repro.obs.tracing import trace_event
 from repro.rf.channel import SampleBatch
 
-__all__ = ["FTTTracker", "TrackEstimate", "TrackResult"]
+__all__ = ["DegradationPolicy", "FTTTracker", "TrackEstimate", "TrackResult"]
 
 Mode = Literal["basic", "extended"]
 MatcherKind = Literal["heuristic", "exhaustive"]
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Graceful-degradation knobs for tracking under value faults.
+
+    The Eq. 6/7 machinery only defends against *omission*: a Byzantine or
+    stuck sensor keeps reporting, so its pair values poison the sampling
+    vector instead of vanishing into ``*``.  This policy adds three
+    tracker-side defenses, each individually cheap and off by default
+    (construct :class:`FTTTracker` with ``degradation=None`` — the
+    shipped paper behaviour — to disable all of them):
+
+    * **flip-rate suppression** — a per-pair exponentially-weighted
+      *residual* rate is maintained across rounds: after each match, a
+      pair scores ``|value - signature| / 2`` against the matched face's
+      signature (0 = the pair agreed with the face the round settled on,
+      1 = it voted the exact opposite).  Healthy pairs agree almost
+      always, whatever their distance to the target; a stuck, drifted or
+      Byzantine endpoint disagrees chronically.  Pairs whose residual
+      EWMA stays above ``flip_threshold`` after warmup are demoted to
+      ``*`` *before* the next round's matching, so Eq. 7 masks them
+      exactly like pairs of silent sensors — and un-demote on their own
+      once the EWMA decays back below the threshold;
+    * **reporting quorum** — when fewer than ``min_reporting`` sensors
+      delivered data, or more than ``max_masked_fraction`` of the pair
+      values are ``*``, the round's vector carries too little signal to
+      trust: the tracker holds the previous face instead of matching;
+    * **extended tie-break** — when a weak round must still be matched
+      (there is no previous face to hold yet), ties between
+      equally-similar faces are re-scored by their agreement with the
+      quantitative (Definition 10) vector of the same grouping sampling,
+      which orders faces the qualitative vector cannot distinguish.
+      (Applying the tie-break on *healthy* rounds measurably hurts —
+      collapsing a tie loses the centroid averaging — so it is scoped
+      to quorum-weak rounds only.)
+    """
+
+    flip_threshold: float = 0.3
+    halflife_rounds: float = 10.0
+    warmup_rounds: int = 10
+    min_reporting: int = 3
+    max_masked_fraction: float = 0.9
+    tie_break: bool = True
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.flip_threshold <= 1.0):
+            raise ValueError(f"flip_threshold must be in (0, 1], got {self.flip_threshold}")
+        if self.halflife_rounds <= 0:
+            raise ValueError(f"halflife must be positive, got {self.halflife_rounds}")
+        if self.warmup_rounds < 1:
+            raise ValueError(f"warmup must be >= 1 round, got {self.warmup_rounds}")
+        if self.min_reporting < 0:
+            raise ValueError(f"min_reporting must be >= 0, got {self.min_reporting}")
+        if not (0.0 < self.max_masked_fraction <= 1.0):
+            raise ValueError(
+                f"max_masked_fraction must be in (0, 1], got {self.max_masked_fraction}"
+            )
+
+    @property
+    def ewma_alpha(self) -> float:
+        """Per-round EWMA weight equivalent to the configured halflife."""
+        return 1.0 - 0.5 ** (1.0 / self.halflife_rounds)
 
 
 @dataclass(frozen=True)
@@ -116,6 +179,9 @@ class FTTTracker:
     matcher : ``"heuristic"`` = Algorithm 2 neighbor-link hill climbing
         (the paper's tracking algorithm); ``"exhaustive"`` = full scan.
     comparator_eps : RSS comparator deadband in dB (ties count as flips).
+    degradation : optional :class:`DegradationPolicy` enabling flip-rate
+        pair suppression, the reporting quorum, and the extended
+        tie-break.  ``None`` (default) reproduces the paper exactly.
     """
 
     def __init__(
@@ -127,6 +193,7 @@ class FTTTracker:
         comparator_eps: float = 0.0,
         heuristic_fallback: bool = True,
         soft_signatures: "bool | None" = None,
+        degradation: "DegradationPolicy | None" = None,
     ) -> None:
         if mode not in ("basic", "extended"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -158,6 +225,10 @@ class FTTTracker:
             )
         else:
             self.matcher = ExhaustiveMatcher(face_map, soft=self.soft_signatures)
+        self.degradation = degradation
+        self._flip_ewma: "np.ndarray | None" = None
+        self._flip_obs: "np.ndarray | None" = None
+        self._prev_estimate: "TrackEstimate | None" = None
 
     # -- vector construction ------------------------------------------------
 
@@ -189,8 +260,29 @@ class FTTTracker:
                 f"for {self.face_map.n_nodes}"
             )
         vector = self.build_vector(rss)
-        match: MatchResult = self.matcher.match(vector)
         n_reporting = int((~np.isnan(rss).all(axis=0)).sum())
+        raw_vector = vector
+        weak = False
+        if self.degradation is not None:
+            vector = self._suppress_flippy_pairs(vector, t)
+            weak = self._quorum_is_weak(vector, n_reporting)
+            if weak:
+                fallback = self._hold_previous(vector, n_reporting, t)
+                if fallback is not None:
+                    if obs.enabled():
+                        self._record_round(fallback, int(np.isnan(vector).sum()))
+                    self._prev_estimate = fallback
+                    return fallback
+        match: MatchResult = self.matcher.match(vector)
+        if (
+            self.degradation is not None
+            and self.degradation.tie_break
+            and weak
+            and len(match.face_ids) > 1
+        ):
+            match = self._tie_break(match, rss, t)
+        if self.degradation is not None:
+            self._update_pair_residuals(raw_vector, match)
         est = TrackEstimate(
             t=t,
             position=match.position,
@@ -199,9 +291,135 @@ class FTTTracker:
             n_reporting=n_reporting,
             visited_faces=match.visited,
         )
+        self._prev_estimate = est
         if obs.enabled():
             self._record_round(est, int(np.isnan(vector).sum()))
         return est
+
+    # -- graceful degradation -------------------------------------------------
+
+    def _suppress_flippy_pairs(self, vector: np.ndarray, t: float) -> np.ndarray:
+        """Demote chronically inconsistent pairs to ``*`` (Eq. 7 masks them).
+
+        Pairs whose residual EWMA (see :meth:`_update_pair_residuals`)
+        sits at or above the policy threshold after warmup chronically
+        vote against the faces the tracker settles on — a stuck,
+        drifted or Byzantine endpoint — and are masked before matching.
+        The demotion is re-evaluated every round, so a pair recovers as
+        soon as its EWMA decays back under the threshold.
+        """
+        pol = self.degradation
+        if self._flip_ewma is None or len(self._flip_ewma) != len(vector):
+            self._flip_ewma = np.zeros(len(vector))
+            self._flip_obs = np.zeros(len(vector), dtype=np.int64)
+        demote = (
+            ~np.isnan(vector)
+            & (self._flip_obs >= pol.warmup_rounds)
+            & (self._flip_ewma >= pol.flip_threshold)
+        )
+        n_demoted = int(demote.sum())
+        if n_demoted:
+            vector = vector.copy()
+            vector[demote] = np.nan
+            if obs.enabled():
+                obs.counter("tracker.degradation.suppression_rounds").inc()
+                obs.histogram("tracker.degradation.suppressed_pairs").observe(n_demoted)
+                trace_event(
+                    "degradation", decision="suppress", t=t, suppressed_pairs=n_demoted
+                )
+        return vector
+
+    def _update_pair_residuals(self, raw_vector: np.ndarray, match: MatchResult) -> None:
+        """Score every observed pair against the face the round settled on.
+
+        The residual ``|value - signature| / 2`` is 0 when the pair's
+        ordering agrees with the matched face and 1 when it votes the
+        exact opposite; its per-pair EWMA is the suppression signal read
+        by :meth:`_suppress_flippy_pairs` at the *next* round.  Updating
+        from the raw (pre-suppression) vector keeps demoted pairs under
+        observation, so a healed sensor is readmitted once its residuals
+        decay.  Empirically the two populations separate cleanly: healthy
+        pairs sit below ~0.2 whatever their distance to the target, while
+        stuck/drifted endpoints plateau near 0.5.
+        """
+        pol = self.degradation
+        sigs = self.face_map.signature_matrix()[match.face_ids].astype(np.float64)
+        sig = sigs.mean(axis=0) if len(match.face_ids) > 1 else sigs[0]
+        valid = ~np.isnan(raw_vector)
+        residual = np.abs(raw_vector[valid] - sig[valid]) / 2.0
+        alpha = pol.ewma_alpha
+        self._flip_ewma[valid] += alpha * (residual - self._flip_ewma[valid])
+        self._flip_obs[valid] += 1
+
+    def _quorum_is_weak(self, vector: np.ndarray, n_reporting: int) -> bool:
+        """True when the round's vector carries too little signal to trust."""
+        pol = self.degradation
+        masked_fraction = float(np.isnan(vector).mean())
+        return n_reporting < pol.min_reporting or masked_fraction > pol.max_masked_fraction
+
+    def _hold_previous(
+        self, vector: np.ndarray, n_reporting: int, t: float
+    ) -> "TrackEstimate | None":
+        """Hold the previous face through a quorum-weak round (None = no history)."""
+        if self._prev_estimate is None:
+            return None
+        prev = self._prev_estimate
+        if obs.enabled():
+            obs.counter("tracker.degradation.quorum_fallbacks").inc()
+            trace_event(
+                "degradation",
+                decision="quorum_fallback",
+                t=t,
+                n_reporting=n_reporting,
+                masked_fraction=float(np.isnan(vector).mean()),
+                held_face=int(prev.face_ids[0]),
+            )
+        return TrackEstimate(
+            t=t,
+            position=prev.position.copy(),
+            face_ids=prev.face_ids.copy(),
+            sq_distance=float("inf"),  # similarity 0: the hold has no evidence
+            n_reporting=n_reporting,
+            visited_faces=0,
+        )
+
+    def _tie_break(self, match: MatchResult, rss: np.ndarray, t: float) -> MatchResult:
+        """Re-score tied faces by agreement with the Definition 10 vector.
+
+        Agreement is the inner product of each tied face's signature with
+        the quantitative vector (``*`` pairs contribute 0) — sign
+        agreement weighted by how decisive the quantitative value is,
+        which avoids the bias a plain distance would give to all-zero
+        signatures.
+        """
+        ext = extended_sampling_vector(rss, self._pairs, comparator_eps=self.comparator_eps)
+        sigs = self.face_map.signature_matrix()[match.face_ids].astype(np.float64)
+        prod = sigs * ext[None, :]
+        prod = np.where(np.isnan(prod), 0.0, prod)
+        agreement = prod.sum(axis=1)
+        best = agreement.max()
+        keep = agreement >= best - 1e-12
+        if keep.all():
+            return match  # the quantitative vector cannot separate them either
+        face_ids = match.face_ids[keep]
+        position = self.face_map.centroids[face_ids].mean(axis=0)
+        if hasattr(self.matcher, "_last_face"):
+            self.matcher._last_face = int(face_ids[0])
+        if obs.enabled():
+            obs.counter("tracker.degradation.tie_breaks").inc()
+            trace_event(
+                "degradation",
+                decision="tie_break",
+                t=t,
+                ties_before=len(match.face_ids),
+                ties_after=len(face_ids),
+            )
+        return MatchResult(
+            face_ids=face_ids,
+            sq_distance=match.sq_distance,
+            position=position,
+            visited=match.visited,
+        )
 
     def _record_round(self, est: TrackEstimate, masked_pairs: int) -> None:
         """Per-round metrics + trace event (Eq. 7 ``*`` counts and match work)."""
@@ -239,7 +457,13 @@ class FTTTracker:
         """
         batches = list(batches)
         record = obs.enabled()
-        if isinstance(self.matcher, ExhaustiveMatcher) and len(batches) > 1:
+        # degradation is sequential state (flip EWMAs, previous face), so
+        # the trace-at-a-time kernel path only serves the stateless case
+        if (
+            isinstance(self.matcher, ExhaustiveMatcher)
+            and len(batches) > 1
+            and self.degradation is None
+        ):
             stacked = self._stack_rss(batches)
             if stacked is not None:
                 vectors = self.build_vectors(stacked)
@@ -276,5 +500,8 @@ class FTTTracker:
         return np.stack(stack)
 
     def reset(self) -> None:
-        """Clear matcher state (start a fresh trace)."""
+        """Clear matcher and degradation state (start a fresh trace)."""
         self.matcher.reset()
+        self._flip_ewma = None
+        self._flip_obs = None
+        self._prev_estimate = None

@@ -1,0 +1,33 @@
+"""Fault lab: adversarial fault injection and robustness campaigns.
+
+The fault models themselves live in :mod:`repro.network.faults` (they
+are part of the network substrate); this package adds what surrounds
+them — the strawman trackers the defenses are benchmarked against
+(:mod:`repro.faultlab.strawmen`) and the campaign driver that sweeps
+fault type × intensity into robustness curves
+(:mod:`repro.faultlab.campaign`, surfaced as ``fttt faultlab``).
+"""
+
+from repro.faultlab.campaign import (
+    DEFAULT_INTENSITIES,
+    DEFAULT_TRACKERS,
+    FAULT_FAMILIES,
+    VALUE_FAULT_FAMILIES,
+    CampaignResult,
+    build_fault,
+    campaign_config,
+    run_campaign,
+)
+from repro.faultlab.strawmen import ZeroFillFTTT
+
+__all__ = [
+    "FAULT_FAMILIES",
+    "VALUE_FAULT_FAMILIES",
+    "DEFAULT_TRACKERS",
+    "DEFAULT_INTENSITIES",
+    "CampaignResult",
+    "build_fault",
+    "campaign_config",
+    "run_campaign",
+    "ZeroFillFTTT",
+]

@@ -18,10 +18,16 @@ from repro.network.deployment import (
 from repro.network.sensing import GroupSampler
 from repro.network.faults import (
     FaultModel,
+    ValueFaultModel,
     NoFaults,
     IndependentDropout,
     CrashFailures,
     IntermittentFaults,
+    RegionalOutage,
+    Schedule,
+    StuckReading,
+    ByzantineRSS,
+    CalibrationDrift,
     CompositeFaults,
 )
 from repro.network.basestation import BaseStation, LocalizationRound
@@ -46,10 +52,16 @@ __all__ = [
     "deployment_stats",
     "GroupSampler",
     "FaultModel",
+    "ValueFaultModel",
     "NoFaults",
     "IndependentDropout",
     "CrashFailures",
     "IntermittentFaults",
+    "RegionalOutage",
+    "Schedule",
+    "StuckReading",
+    "ByzantineRSS",
+    "CalibrationDrift",
     "CompositeFaults",
     "BaseStation",
     "LocalizationRound",

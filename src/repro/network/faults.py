@@ -1,9 +1,32 @@
-"""Fault models: which sensors fail to report a grouping sampling.
+"""Fault models: unreliable sensing beyond simple omission.
 
 §4.4-3 of the paper motivates fault tolerance with "breakdown of sensors
-or fault occurrence"; these models decide, per localization round, the set
-of non-reporting sensors (the paper's ``N_r-bar``).  They compose, so a
-scenario can combine permanent crashes with transient dropouts.
+or fault occurrence".  Two kinds of model live here:
+
+* **Omission (drop) models** decide, per localization round, the set of
+  non-reporting sensors (the paper's ``N_r-bar``) via :meth:`drop_mask`:
+  :class:`IndependentDropout`, :class:`CrashFailures`,
+  :class:`IntermittentFaults`, :class:`RegionalOutage`, :class:`Schedule`.
+
+* **Value-fault models** corrupt the readings of sensors that *do* report
+  via :meth:`corrupt` — the harder failure modes real RSS deployments see:
+  :class:`StuckReading` (a sensor freezes on one value),
+  :class:`ByzantineRSS` (adversarial per-sample replacement), and
+  :class:`CalibrationDrift` (slow per-sensor bias growth).
+
+All models are deterministic functions of a shared
+:class:`numpy.random.Generator` stream, and :class:`CompositeFaults`
+composes any mixture: drop masks union, value corruptions chain in order.
+
+Stateful models (crash times, stuck values, outage state, drift rates)
+re-draw their hidden state whenever they see ``round_index == 0`` — the
+start of a run — so one model instance can be reused across replications
+(and shipped to pool workers) without one run's state leaking into the
+next; serial and parallel sweeps stay bit-identical.
+
+``corrupt`` never mutates its input: it either returns the *same* array
+object untouched (no corruption this round, no rng consumed — important
+for replaying pinned traces) or a fresh copy with the faults applied.
 """
 
 from __future__ import annotations
@@ -15,10 +38,16 @@ import numpy as np
 
 __all__ = [
     "FaultModel",
+    "ValueFaultModel",
     "NoFaults",
     "IndependentDropout",
     "CrashFailures",
     "IntermittentFaults",
+    "RegionalOutage",
+    "Schedule",
+    "StuckReading",
+    "ByzantineRSS",
+    "CalibrationDrift",
     "CompositeFaults",
 ]
 
@@ -30,6 +59,24 @@ class FaultModel(Protocol):
     def drop_mask(self, n: int, round_index: int, rng: np.random.Generator) -> np.ndarray:
         """Boolean (n,) mask — True means the sensor does NOT report."""
         ...
+
+
+@runtime_checkable
+class ValueFaultModel(Protocol):
+    """Corrupts the readings of reporting sensors in a given round."""
+
+    def corrupt(self, rss: np.ndarray, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        """Return a corrupted copy of the ``(k, n)`` RSS matrix.
+
+        Must never modify *rss* in place; returning *rss* itself means
+        "nothing corrupted this round".
+        """
+        ...
+
+
+def _validate_fraction(name: str, value: float) -> None:
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
 
 
 @dataclass(frozen=True)
@@ -45,13 +92,14 @@ class IndependentDropout:
     """Each sensor independently misses each round with probability *p*.
 
     Models transient losses: collisions, fading, queue overflow.
+    ``p == 0`` consumes no rng (so adding a disabled dropout to a
+    composite cannot shift the other models' streams).
     """
 
     p: float = 0.1
 
     def __post_init__(self) -> None:
-        if not (0.0 <= self.p <= 1.0):
-            raise ValueError(f"dropout probability must be in [0, 1], got {self.p}")
+        _validate_fraction("dropout probability", self.p)
 
     def drop_mask(self, n: int, round_index: int, rng: np.random.Generator) -> np.ndarray:
         if self.p == 0.0:
@@ -65,8 +113,9 @@ class CrashFailures:
 
     ``crash_fraction`` of the sensors crash, each at a round chosen
     uniformly in ``[0, horizon_rounds)``; once crashed a sensor never
-    reports again.  Crash times are drawn lazily on first use so the model
-    can be declared before the deployment size is known.
+    reports again.  Crash times are drawn on first use — and re-drawn at
+    every ``round_index == 0`` — so the model can be declared before the
+    deployment size is known and reused across runs.
     """
 
     crash_fraction: float = 0.2
@@ -74,13 +123,12 @@ class CrashFailures:
     _crash_round: np.ndarray | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
-        if not (0.0 <= self.crash_fraction <= 1.0):
-            raise ValueError(f"crash fraction must be in [0, 1], got {self.crash_fraction}")
+        _validate_fraction("crash fraction", self.crash_fraction)
         if self.horizon_rounds < 1:
             raise ValueError(f"horizon must be >= 1 round, got {self.horizon_rounds}")
 
     def drop_mask(self, n: int, round_index: int, rng: np.random.Generator) -> np.ndarray:
-        if self._crash_round is None or len(self._crash_round) != n:
+        if self._crash_round is None or len(self._crash_round) != n or round_index == 0:
             crash_round = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
             n_crash = int(round(self.crash_fraction * n))
             if n_crash > 0:
@@ -105,11 +153,10 @@ class IntermittentFaults:
 
     def __post_init__(self) -> None:
         for name, p in (("p_fail", self.p_fail), ("p_recover", self.p_recover)):
-            if not (0.0 <= p <= 1.0):
-                raise ValueError(f"{name} must be in [0, 1], got {p}")
+            _validate_fraction(name, p)
 
     def drop_mask(self, n: int, round_index: int, rng: np.random.Generator) -> np.ndarray:
-        if self._faulty is None or len(self._faulty) != n:
+        if self._faulty is None or len(self._faulty) != n or round_index == 0:
             self._faulty = np.zeros(n, dtype=bool)
         u = rng.random(n)
         healthy = ~self._faulty
@@ -117,14 +164,261 @@ class IntermittentFaults:
         return self._faulty.copy()
 
 
+@dataclass
+class RegionalOutage:
+    """Spatially correlated dropouts: a whole region goes dark at once.
+
+    Models the failures omission-independence misses — a jammer, a downed
+    relay, local weather: with probability ``p_start`` per round an outage
+    opens at a point drawn uniformly over the deployment's bounding box,
+    silencing every sensor within ``radius_m`` for ``duration_rounds``
+    rounds.  Needs the sensor positions: pass ``nodes`` at construction or
+    let the runner call :meth:`bind` (it does so automatically).
+    """
+
+    radius_m: float = 25.0
+    p_start: float = 0.1
+    duration_rounds: int = 5
+    nodes: np.ndarray | None = None
+    _center: np.ndarray | None = field(default=None, repr=False)
+    _remaining: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0:
+            raise ValueError(f"outage radius must be positive, got {self.radius_m}")
+        _validate_fraction("p_start", self.p_start)
+        if self.duration_rounds < 1:
+            raise ValueError(f"outage duration must be >= 1 round, got {self.duration_rounds}")
+        if self.nodes is not None:
+            self.nodes = np.atleast_2d(np.asarray(self.nodes, dtype=float))
+
+    def bind(self, nodes: np.ndarray) -> None:
+        """Attach the deployment geometry (called by the runner)."""
+        self.nodes = np.atleast_2d(np.asarray(nodes, dtype=float))
+
+    def drop_mask(self, n: int, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        if self.nodes is None or len(self.nodes) != n:
+            raise RuntimeError(
+                "RegionalOutage needs sensor positions: pass nodes= at construction "
+                "or bind(nodes) before use (sim.runner.generate_batches does this)"
+            )
+        if round_index == 0:
+            self._center = None
+            self._remaining = 0
+        if self._remaining == 0:
+            if rng.random() < self.p_start:
+                lo = self.nodes.min(axis=0)
+                hi = self.nodes.max(axis=0)
+                self._center = rng.uniform(lo, hi)
+                self._remaining = self.duration_rounds
+        if self._remaining == 0:
+            return np.zeros(n, dtype=bool)
+        self._remaining -= 1
+        d = np.hypot(
+            self.nodes[:, 0] - self._center[0], self.nodes[:, 1] - self._center[1]
+        )
+        return d <= self.radius_m
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """Scripted death/revival timeline — fully deterministic, no rng.
+
+    ``outages`` is a sequence of ``(sensor, down_from, up_at)`` triples:
+    sensor *sensor* does not report during rounds ``[down_from, up_at)``.
+    A sensor may appear in several triples (die, revive, die again), but
+    its intervals must be disjoint and in increasing order, so the scripted
+    state transitions are monotone in round order.
+    """
+
+    outages: tuple[tuple[int, int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        normalized = []
+        for triple in self.outages:
+            if len(triple) != 3:
+                raise ValueError(f"outage entries are (sensor, down_from, up_at), got {triple!r}")
+            s, down, up = (int(v) for v in triple)
+            if s < 0:
+                raise ValueError(f"sensor index must be >= 0, got {s}")
+            if down < 0 or up <= down:
+                raise ValueError(f"need 0 <= down_from < up_at, got ({down}, {up})")
+            normalized.append((s, down, up))
+        per_sensor: dict[int, int] = {}
+        for s, down, up in sorted(normalized):
+            if down < per_sensor.get(s, 0):
+                raise ValueError(f"overlapping outage intervals for sensor {s}")
+            per_sensor[s] = up
+        object.__setattr__(self, "outages", tuple(normalized))
+
+    def drop_mask(self, n: int, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        mask = np.zeros(n, dtype=bool)
+        for s, down, up in self.outages:
+            if s >= n:
+                raise ValueError(f"schedule names sensor {s} but the deployment has {n}")
+            if down <= round_index < up:
+                mask[s] = True
+        return mask
+
+
+@dataclass
+class StuckReading:
+    """A fraction of sensors freeze: from a random round on, every sample
+    they deliver repeats the first reading they took while stuck.
+
+    The classic s-a-X transducer fault: the radio still reports, so Eq. 6
+    never sees an omission, but the value carries no information about the
+    target any more.  Victims and stick rounds are drawn like
+    :class:`CrashFailures` crash times; the held value is captured from
+    the sensor's first finite sample at or after its stick round.
+    """
+
+    fraction: float = 0.2
+    horizon_rounds: int = 120
+    _stick_round: np.ndarray | None = field(default=None, repr=False)
+    _held: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        _validate_fraction("stuck fraction", self.fraction)
+        if self.horizon_rounds < 1:
+            raise ValueError(f"horizon must be >= 1 round, got {self.horizon_rounds}")
+
+    def corrupt(self, rss: np.ndarray, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        rss = np.asarray(rss, dtype=float)
+        n = rss.shape[1]
+        if self._stick_round is None or len(self._stick_round) != n or round_index == 0:
+            stick = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+            n_stuck = int(round(self.fraction * n))
+            if n_stuck > 0:
+                victims = rng.choice(n, size=n_stuck, replace=False)
+                stick[victims] = rng.integers(0, self.horizon_rounds, size=n_stuck)
+            self._stick_round = stick
+            self._held = np.full(n, np.nan)
+        stuck = round_index >= self._stick_round
+        if not stuck.any():
+            return rss
+        out = rss.copy()
+        for s in np.nonzero(stuck)[0]:
+            if np.isnan(self._held[s]):
+                finite = rss[:, s][np.isfinite(rss[:, s])]
+                if len(finite) == 0:
+                    continue  # silent this round; capture on its next report
+                self._held[s] = float(finite[0])
+            col = out[:, s]
+            col[np.isfinite(col)] = self._held[s]
+        return out
+
+
+@dataclass
+class ByzantineRSS:
+    """A fraction of sensors report adversarial readings.
+
+    Each Byzantine sensor's samples are *replaced* per-sample by uniform
+    draws over ``rss_range_dbm`` — values inside the plausible RSS range
+    (so a receiver cannot reject them by range checking alone) but
+    carrying no information about the target, which scrambles the pair
+    orderings the sampling vector is built from.  Additive perturbations
+    of a few dB barely move those orderings (RSS spans tens of dB across
+    a deployment); full replacement is the attack that actually hurts.
+    Victims are drawn once per run.
+    """
+
+    fraction: float = 0.2
+    rss_range_dbm: tuple[float, float] = (-110.0, -40.0)
+    _victims: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        _validate_fraction("byzantine fraction", self.fraction)
+        lo, hi = (float(v) for v in self.rss_range_dbm)
+        if not lo < hi:
+            raise ValueError(f"rss_range_dbm must be (low, high) with low < high, got {self.rss_range_dbm}")
+        self.rss_range_dbm = (lo, hi)
+
+    def corrupt(self, rss: np.ndarray, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        rss = np.asarray(rss, dtype=float)
+        if self.fraction == 0.0:
+            return rss  # disabled: consume no rng
+        n = rss.shape[1]
+        if self._victims is None or len(self._victims) != n or round_index == 0:
+            victims = np.zeros(n, dtype=bool)
+            n_byz = int(round(self.fraction * n))
+            if n_byz > 0:
+                victims[rng.choice(n, size=n_byz, replace=False)] = True
+            self._victims = victims
+        if not self._victims.any():
+            return rss
+        k = rss.shape[0]
+        n_byz = int(self._victims.sum())
+        lo, hi = self.rss_range_dbm
+        # fixed-shape draw: the stream advances identically whatever the
+        # NaN pattern, keeping runs comparable across drop-model mixes
+        fake = rng.uniform(lo, hi, size=(k, n_byz))
+        out = rss.copy()
+        cols = out[:, self._victims]
+        out[:, self._victims] = np.where(np.isfinite(cols), fake, cols)
+        return out
+
+
+@dataclass
+class CalibrationDrift:
+    """Slow per-sensor calibration bias, growing linearly with time.
+
+    Every sensor gets a drift rate drawn from
+    ``Normal(0, drift_db_per_round)`` at the start of a run; at round *r*
+    its readings are offset by ``rate * r`` dB.  Models aging ADCs and
+    temperature-dependent gain — the error budget term RSS-localization
+    studies single out as dominant in long deployments.
+    """
+
+    drift_db_per_round: float = 0.1
+    _rates: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.drift_db_per_round < 0:
+            raise ValueError(f"drift scale must be non-negative, got {self.drift_db_per_round}")
+
+    def corrupt(self, rss: np.ndarray, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        rss = np.asarray(rss, dtype=float)
+        if self.drift_db_per_round == 0.0:
+            return rss  # disabled: consume no rng
+        n = rss.shape[1]
+        if self._rates is None or len(self._rates) != n or round_index == 0:
+            self._rates = rng.normal(0.0, self.drift_db_per_round, size=n)
+        if round_index == 0:
+            return rss
+        bias = self._rates * round_index
+        out = rss + bias[None, :]  # NaN + bias stays NaN
+        return out
+
+
 @dataclass(frozen=True)
 class CompositeFaults:
-    """Union of several fault models: a sensor is silent if any model drops it."""
+    """Any mixture of omission and value faults, drawn from one stream.
 
-    models: Sequence[FaultModel] = ()
+    A sensor is silent if *any* member drop model silences it (mask
+    union); value corruptions chain in declaration order over whatever
+    the previous members produced.  Models are polled in order, so the
+    rng consumption sequence — hence every number downstream — is fixed
+    by the declaration, and nesting composites associates: ``(a, (b, c))``
+    and ``((a, b), c)`` consume the stream identically.
+    """
+
+    models: Sequence[FaultModel | ValueFaultModel] = ()
 
     def drop_mask(self, n: int, round_index: int, rng: np.random.Generator) -> np.ndarray:
         mask = np.zeros(n, dtype=bool)
         for model in self.models:
-            mask |= model.drop_mask(n, round_index, rng)
+            if hasattr(model, "drop_mask"):
+                mask |= model.drop_mask(n, round_index, rng)
         return mask
+
+    def corrupt(self, rss: np.ndarray, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        for model in self.models:
+            if hasattr(model, "corrupt"):
+                rss = model.corrupt(rss, round_index, rng)
+        return rss
+
+    def bind(self, nodes: np.ndarray) -> None:
+        for model in self.models:
+            if hasattr(model, "bind"):
+                model.bind(nodes)

@@ -41,6 +41,8 @@ class SweepRecord:
     std_error: float
     mean_of_std: float  # mean per-run std (trajectory roughness)
     n_reps: int
+    p95_error: float = float("nan")  # pooled 95th-percentile round error
+    lost_track_rate: float = float("nan")  # rounds beyond the lost-track radius
     per_rep_means: tuple[float, ...] = field(default=(), repr=False)
 
     def as_dict(self) -> dict:
@@ -49,6 +51,8 @@ class SweepRecord:
             "mean_error": self.mean_error,
             "std_error": self.std_error,
             "mean_of_std": self.mean_of_std,
+            "p95_error": self.p95_error,
+            "lost_track_rate": self.lost_track_rate,
             "n_reps": self.n_reps,
         }
         d.update(self.params)
@@ -64,18 +68,26 @@ def replicate_mean_error(
     deployment: str = "random",
     params: "dict | None" = None,
     faults: "FaultModel | None" = None,
+    lost_track_threshold_m: "float | None" = None,
 ) -> list[SweepRecord]:
     """Run every tracker over *n_reps* independent worlds; aggregate errors.
 
     ``mean_error`` averages each replication's mean tracking error;
     ``std_error`` is the pooled standard deviation of *all* per-round
     errors across replications (the quantity of Figs. 11c / 12d);
-    ``mean_of_std`` averages the per-run stds.  ``faults`` applies the
-    given fault model to every replication's batch stream (the Eq. 6-7
-    masking then shows up in the per-round observability metrics).
+    ``mean_of_std`` averages the per-run stds.  ``p95_error`` is the
+    95th percentile of the pooled per-round errors, and
+    ``lost_track_rate`` the fraction of rounds whose error exceeds
+    ``lost_track_threshold_m`` (default: a quarter of the field side —
+    an estimate that far off is tracking a different part of the field).
+    ``faults`` applies the given fault model to every replication's
+    batch stream (the Eq. 6-7 masking then shows up in the per-round
+    observability metrics).
     """
     if n_reps < 1:
         raise ValueError(f"need at least one replication, got {n_reps}")
+    if lost_track_threshold_m is None:
+        lost_track_threshold_m = config.field_size_m / 4.0
     params = dict(params or {})
     # two independent streams per rep: world construction and observation noise
     rngs = spawn_rngs(seed, 2 * n_reps)
@@ -102,6 +114,10 @@ def replicate_mean_error(
                 std_error=float(pooled.std()),
                 mean_of_std=float(np.mean(per_tracker_stds[name])),
                 n_reps=n_reps,
+                p95_error=float(np.quantile(pooled, 0.95)) if len(pooled) else float("nan"),
+                lost_track_rate=(
+                    float((pooled > lost_track_threshold_m).mean()) if len(pooled) else float("nan")
+                ),
                 per_rep_means=tuple(per_tracker_means[name]),
             )
         )

@@ -144,7 +144,7 @@ def parallel_sweep(
     n_workers: "int | None" = None,
     seed_stride: int = 1000,
     cache_dir: "str | os.PathLike | None" = None,
-    faults: "FaultModel | None" = None,
+    faults: "FaultModel | Sequence[FaultModel | None] | None" = None,
     obs_dir: "str | os.PathLike | None" = None,
 ) -> list[SweepRecord]:
     """Run ``replicate_mean_error`` for every (config, params) point in a pool.
@@ -168,7 +168,9 @@ def parallel_sweep(
         inherited copy-on-write for free.)  The environment mutation is
         scoped to this call.
     faults : optional fault model applied to every replication's batch
-        stream (forwarded to :func:`replicate_mean_error`).
+        stream (forwarded to :func:`replicate_mean_error`); a list or
+        tuple instead assigns one model (or None) per point — the
+        fault-campaign case, where each point injects a different model.
     obs_dir : when given, the sweep runs with :mod:`repro.obs` enabled
         (in workers too) and writes ``metrics.json`` — the merged
         registries of every task — plus ``trace.jsonl`` into this
@@ -177,6 +179,15 @@ def parallel_sweep(
     """
     if not points:
         raise ValueError("no sweep points given")
+    if isinstance(faults, (list, tuple)):
+        if len(faults) != len(points):
+            raise ValueError(
+                f"per-point faults need one entry per point: "
+                f"{len(faults)} models for {len(points)} points"
+            )
+        per_point_faults = list(faults)
+    else:
+        per_point_faults = [faults] * len(points)
     with _sweep_environment(cache_dir, obs_dir) as obs_out:
         tasks = [
             (
@@ -186,7 +197,7 @@ def parallel_sweep(
                 seed + i * seed_stride,
                 dict(params),
                 deployment,
-                faults,
+                per_point_faults[i],
             )
             for i, (cfg, params) in enumerate(points)
         ]

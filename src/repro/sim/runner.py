@@ -39,8 +39,10 @@ def generate_batches(
     """Materialize every localization round of a tracking run.
 
     Rounds are spaced by the grouping duration (k samples at the sampling
-    rate); each applies the fault model's drop mask and, if a base station
-    is given, its uplink packet loss.
+    rate); each applies the fault model's drop mask, then any value
+    corruption it defines (``corrupt``), and finally, if a base station
+    is given, its uplink packet loss.  Geometry-aware fault models
+    (``bind``) are bound to the scenario's deployment first.
     """
     rng = ensure_rng(rng)
     cfg = scenario.config
@@ -50,14 +52,26 @@ def generate_batches(
         raise ValueError(f"need at least one round, got {n_rounds}")
     period = scenario.sampler.group_duration_s
     record = obs.enabled()
+    has_drop = faults is not None and hasattr(faults, "drop_mask")
+    has_value = faults is not None and hasattr(faults, "corrupt")
+    if faults is not None and hasattr(faults, "bind"):
+        faults.bind(scenario.nodes)  # geometry-aware models (RegionalOutage)
     batches: list[SampleBatch] = []
     for r in range(n_rounds):
         t0 = r * period
-        drop = faults.drop_mask(scenario.n_sensors, r, rng) if faults is not None else None
+        drop = faults.drop_mask(scenario.n_sensors, r, rng) if has_drop else None
         if record and drop is not None:
             obs.counter("faults.rounds").inc()
             obs.histogram("faults.dropped_sensors").observe(int(drop.sum()))
         batch = scenario.sampler.sample_group(scenario.mobility.position, t0, rng, drop_mask=drop)
+        if has_value:
+            corrupted = faults.corrupt(batch.rss, r, rng)
+            if corrupted is not batch.rss:
+                if record:
+                    obs.counter("faults.value_rounds").inc()
+                batch = SampleBatch(
+                    rss=corrupted, times=batch.times, positions=batch.positions
+                )
         if basestation is not None:
             rnd = basestation.aggregate(batch, t0, rng)
             batch = SampleBatch(rss=rnd.effective_rss, times=batch.times, positions=batch.positions)

@@ -42,6 +42,8 @@ TRACKER_NAMES = (
     "fttt",
     "fttt-extended",
     "fttt-exhaustive",
+    "fttt-robust",
+    "fttt-zero",
     "pm",
     "direct-mle",
     "range-mle",
@@ -109,6 +111,8 @@ class Scenario:
 
         Names: ``fttt`` (basic, heuristic matching), ``fttt-extended``
         (quantitative vectors), ``fttt-exhaustive`` (basic, full scan),
+        ``fttt-robust`` (basic + the fault-lab degradation policy),
+        ``fttt-zero`` (naive-zeroing strawman: ``*`` becomes 0),
         ``pm``, ``direct-mle``, ``range-mle``, ``pknn``,
         ``weighted-centroid``, ``nearest``.
         """
@@ -116,6 +120,15 @@ class Scenario:
             overrides.setdefault("comparator_eps", self.config.resolution_dbm)
         if name == "fttt":
             return FTTTracker(self.face_map, mode="basic", matcher="heuristic", **overrides)
+        if name == "fttt-robust":
+            from repro.core.tracker import DegradationPolicy
+
+            overrides.setdefault("degradation", DegradationPolicy())
+            return FTTTracker(self.face_map, mode="basic", matcher="heuristic", **overrides)
+        if name == "fttt-zero":
+            from repro.faultlab.strawmen import ZeroFillFTTT
+
+            return ZeroFillFTTT(self.face_map, mode="basic", matcher="heuristic", **overrides)
         if name == "fttt-extended":
             from repro.core.extended import attach_soft_signatures
 

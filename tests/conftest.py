@@ -1,11 +1,21 @@
-"""Shared fixtures.
+"""Shared fixtures and the seeded test-order shuffle.
 
 Small, fast worlds reused across the suite: a four-node square deployment
 (the paper's Fig. 3/5/7 setting), its uncertain and certain face maps, and
 deterministic RNGs.
+
+Hidden inter-test dependencies (a test passing only because an earlier
+one warmed a cache or left an env var behind) survive for as long as the
+collection order never changes.  ``--order-seed N`` (or
+``REPRO_TEST_ORDER_SEED=N``) shuffles the collected items with that
+seed — deterministically, so a failing order is replayable by number.
+Seed 0 or unset keeps file order.
 """
 
 from __future__ import annotations
+
+import os
+import random
 
 import numpy as np
 import pytest
@@ -16,6 +26,45 @@ from repro.geometry.grid import Grid
 from repro.rf.channel import RssChannel
 from repro.rf.noise import GaussianNoise
 from repro.rf.pathloss import LogDistancePathLoss
+
+# -- seeded random test ordering ------------------------------------------
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--order-seed",
+        action="store",
+        default=None,
+        metavar="N",
+        help="shuffle test order with seed N (0 = keep file order); "
+        "defaults to $REPRO_TEST_ORDER_SEED",
+    )
+
+
+def _order_seed(config) -> int:
+    raw = config.getoption("--order-seed")
+    if raw is None:
+        raw = os.environ.get("REPRO_TEST_ORDER_SEED", "0")
+    try:
+        return int(raw)
+    except ValueError:
+        raise pytest.UsageError(f"--order-seed must be an integer, got {raw!r}")
+
+
+def pytest_report_header(config):
+    seed = _order_seed(config)
+    if seed:
+        return f"test order: shuffled with seed {seed} (replay with --order-seed {seed})"
+    return None
+
+
+def pytest_collection_modifyitems(config, items):
+    seed = _order_seed(config)
+    if seed:
+        random.Random(seed).shuffle(items)
+
+
+# -- shared fixtures ------------------------------------------------------
 
 
 @pytest.fixture

@@ -1,0 +1,285 @@
+"""Graceful degradation under value faults (DegradationPolicy + FTTTracker).
+
+Covers the three tracker-side defenses the fault lab adds on top of the
+paper's Eq. 6/7 omission handling: flip-rate pair suppression, the
+reporting quorum (hold previous face), and the quorum-weak extended
+tie-break — plus policy validation, state reset, and the observability
+counters each decision emits.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.matching import MatchResult
+from repro.core.tracker import DegradationPolicy, FTTTracker
+from repro.obs import metrics as obs
+from repro.rf.channel import RssChannel
+from repro.rf.noise import GaussianNoise
+from repro.rf.pathloss import LogDistancePathLoss
+
+
+@pytest.fixture
+def quiet_channel(four_nodes) -> RssChannel:
+    """Noiseless full-coverage channel: rounds are deterministic."""
+    return RssChannel(
+        nodes=four_nodes,
+        pathloss=LogDistancePathLoss(exponent=4.0, p0_dbm=-40.0),
+        noise=GaussianNoise(0.0),
+        sensing_range_m=None,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    """Leave the process-global metrics gate as we found it."""
+    yield
+    obs.set_enabled(None)
+    obs.reset()
+
+
+def _tracker(face_map, **policy_kwargs) -> FTTTracker:
+    return FTTTracker(face_map, degradation=DegradationPolicy(**policy_kwargs))
+
+
+def _observe(channel, position, k=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return channel.observe_static(np.asarray(position, float), k, rng).rss
+
+
+TARGET = (40.0, 45.0)
+
+
+class TestPolicy:
+    def test_defaults_valid(self):
+        DegradationPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"flip_threshold": 0.0},
+            {"flip_threshold": 1.5},
+            {"halflife_rounds": 0.0},
+            {"warmup_rounds": 0},
+            {"min_reporting": -1},
+            {"max_masked_fraction": 0.0},
+            {"max_masked_fraction": 1.2},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DegradationPolicy(**kwargs)
+
+    def test_frozen(self):
+        pol = DegradationPolicy()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            pol.flip_threshold = 0.5
+
+    def test_ewma_alpha_matches_halflife(self):
+        pol = DegradationPolicy(halflife_rounds=1.0)
+        assert pol.ewma_alpha == pytest.approx(0.5)
+        # after `halflife` rounds of constant input 1, the EWMA reaches 0.5
+        pol = DegradationPolicy(halflife_rounds=7.0)
+        ewma = 0.0
+        for _ in range(7):
+            ewma += pol.ewma_alpha * (1.0 - ewma)
+        assert ewma == pytest.approx(0.5)
+
+
+class TestSuppression:
+    """Flip-rate suppression, on the certain face map.
+
+    The bisector-only division gives every face a fully determined
+    ordering (signatures are ±1), so on a noiseless channel healthy
+    pairs score an exact residual of 0 — the uncertain map's
+    signature-0 pairs would sit at a constant 0.5 instead, which is
+    tolerable in the field but makes "never suppressed" untestable.
+    """
+
+    def test_chronically_wrong_pair_is_demoted(self, certain_map, quiet_channel):
+        """A Byzantine sensor gets its pairs starred after warmup.
+
+        The poison must be *incoherent* (fresh garbage per sample): a
+        consistently-strong liar just shifts the match to a face where
+        it really is closest, which scores residual 0.
+        """
+        tracker = _tracker(
+            certain_map, flip_threshold=0.2, warmup_rounds=3, halflife_rounds=2.0
+        )
+        byz = np.random.default_rng(5)
+        for r in range(12):
+            rss = _observe(quiet_channel, TARGET)
+            rss[:, 0] = byz.uniform(-110.0, -40.0, rss.shape[0])
+            tracker.localize(rss, t=float(r))
+        i_idx, j_idx = tracker._pairs
+        poisoned = [p for p in range(len(i_idx)) if 0 in (i_idx[p], j_idx[p])]
+        healthy = [p for p in range(len(i_idx)) if p not in poisoned]
+        assert tracker._flip_ewma[poisoned].min() > tracker._flip_ewma[healthy].max()
+        # and the poisoned pairs sit above the demotion threshold
+        vector = tracker.build_vector(_observe(quiet_channel, TARGET))
+        suppressed = tracker._suppress_flippy_pairs(vector, t=12.0)
+        starred = np.isnan(suppressed) & ~np.isnan(vector)
+        assert starred.any()
+        assert set(np.nonzero(starred)[0]) <= set(poisoned)
+
+    def test_healthy_rounds_never_suppressed(self, certain_map, quiet_channel):
+        tracker = _tracker(certain_map, warmup_rounds=2)
+        for r in range(15):
+            est = tracker.localize(_observe(quiet_channel, TARGET), t=float(r))
+        vector = tracker.build_vector(_observe(quiet_channel, TARGET))
+        assert np.array_equal(
+            tracker._suppress_flippy_pairs(vector, t=15.0), vector, equal_nan=True
+        )
+        assert np.isfinite(est.sq_distance)
+
+    def test_degradation_costs_nothing_when_healthy(self, certain_map, quiet_channel):
+        plain = FTTTracker(certain_map)
+        robust = _tracker(certain_map)
+        for r in range(15):
+            rss = _observe(quiet_channel, TARGET)
+            assert np.array_equal(
+                plain.localize(rss, t=float(r)).position,
+                robust.localize(rss, t=float(r)).position,
+            )
+
+    def test_suppressed_pair_recovers_after_heal(self, certain_map, quiet_channel):
+        tracker = _tracker(
+            certain_map, flip_threshold=0.2, warmup_rounds=3, halflife_rounds=2.0
+        )
+        byz = np.random.default_rng(5)
+        for r in range(12):  # poison phase
+            rss = _observe(quiet_channel, TARGET)
+            rss[:, 0] = byz.uniform(-110.0, -40.0, rss.shape[0])
+            tracker.localize(rss, t=float(r))
+        assert tracker._flip_ewma.max() >= tracker.degradation.flip_threshold
+        for r in range(12, 40):  # heal phase: sensor 0 reports honestly again
+            tracker.localize(_observe(quiet_channel, TARGET), t=float(r))
+        assert tracker._flip_ewma.max() < tracker.degradation.flip_threshold
+
+    def test_residuals_update_from_raw_vector(self, certain_map, quiet_channel):
+        """Demoted pairs stay under observation (EWMA keeps integrating)."""
+        tracker = _tracker(certain_map, warmup_rounds=2, halflife_rounds=1.0)
+        for r in range(8):
+            rss = _observe(quiet_channel, TARGET)
+            rss[:, 0] = -41.0
+            tracker.localize(rss, t=float(r))
+        obs_counts = tracker._flip_obs.copy()
+        rss = _observe(quiet_channel, TARGET)
+        rss[:, 0] = -41.0
+        tracker.localize(rss, t=9.0)
+        assert (tracker._flip_obs == obs_counts + 1).all()
+
+
+class TestQuorum:
+    def test_weak_round_holds_previous_face(self, face_map, quiet_channel):
+        tracker = _tracker(face_map, min_reporting=3)
+        good = tracker.localize(_observe(quiet_channel, TARGET), t=0.0)
+        rss = _observe(quiet_channel, TARGET)
+        rss[:, 2:] = np.nan  # only two sensors report
+        held = tracker.localize(rss, t=1.0)
+        assert np.array_equal(held.position, good.position)
+        assert np.array_equal(held.face_ids, good.face_ids)
+        assert held.sq_distance == float("inf")
+        assert held.visited_faces == 0
+        assert held.n_reporting == 2
+
+    def test_weak_first_round_still_matches(self, face_map, quiet_channel):
+        """No history to hold: the tracker must produce a real estimate."""
+        tracker = _tracker(face_map, min_reporting=3)
+        rss = _observe(quiet_channel, TARGET)
+        rss[:, 2:] = np.nan
+        est = tracker.localize(rss, t=0.0)
+        assert np.isfinite(est.position).all()
+        assert est.visited_faces > 0
+
+    def test_masked_fraction_triggers_quorum(self, face_map, quiet_channel):
+        tracker = _tracker(face_map, min_reporting=0, max_masked_fraction=0.4)
+        good = tracker.localize(_observe(quiet_channel, TARGET), t=0.0)
+        rss = _observe(quiet_channel, TARGET)
+        rss[:, 1:] = np.nan  # one reporter: every pair involving others is *
+        held = tracker.localize(rss, t=1.0)
+        assert held.sq_distance == float("inf")
+        assert np.array_equal(held.face_ids, good.face_ids)
+
+    def test_hold_does_not_poison_residuals(self, face_map, quiet_channel):
+        """Held rounds skip matching, so no residual update happens."""
+        tracker = _tracker(face_map, min_reporting=3)
+        tracker.localize(_observe(quiet_channel, TARGET), t=0.0)
+        counts = tracker._flip_obs.copy()
+        rss = _observe(quiet_channel, TARGET)
+        rss[:, 2:] = np.nan
+        tracker.localize(rss, t=1.0)
+        assert np.array_equal(tracker._flip_obs, counts)
+
+
+class TestTieBreak:
+    def test_tie_break_keeps_subset_of_tied_faces(self, face_map, quiet_channel):
+        tracker = _tracker(face_map)
+        rss = _observe(quiet_channel, TARGET)
+        vector = tracker.build_vector(rss)
+        match = tracker.matcher.match(vector)
+        # manufacture a tie between the true match and a distant face
+        far = (match.face_ids[0] + face_map.n_faces // 2) % face_map.n_faces
+        tie = MatchResult(
+            face_ids=np.array([match.face_ids[0], far]),
+            sq_distance=match.sq_distance,
+            position=face_map.centroids[[match.face_ids[0], far]].mean(axis=0),
+            visited=match.visited,
+        )
+        broken = tracker._tie_break(tie, rss, t=0.0)
+        assert len(broken.face_ids) < len(tie.face_ids)
+        assert broken.face_ids[0] == match.face_ids[0]
+
+    def test_all_star_vector_cannot_be_separated(self, face_map):
+        tracker = _tracker(face_map)
+        rss = np.full((3, 4), np.nan)
+        vector = tracker.build_vector(rss)
+        match = tracker.matcher.match(vector)
+        assert len(match.face_ids) > 1  # everything ties on the all-* vector
+        assert tracker._tie_break(match, rss, t=0.0) is match
+
+    def test_tie_break_disabled_by_policy(self, face_map, quiet_channel):
+        tracker = _tracker(face_map, tie_break=False, min_reporting=4)
+        rss = _observe(quiet_channel, TARGET)
+        rss[:, 3] = np.nan  # weak (3 < min_reporting), no history -> match path
+        est = tracker.localize(rss, t=0.0)
+        assert np.isfinite(est.position).all()
+
+
+class TestResetAndObs:
+    def test_reset_clears_degradation_state(self, face_map, quiet_channel):
+        tracker = _tracker(face_map)
+        tracker.localize(_observe(quiet_channel, TARGET), t=0.0)
+        assert tracker._flip_ewma is not None
+        assert tracker._prev_estimate is not None
+        tracker.reset()
+        assert tracker._flip_ewma is None
+        assert tracker._flip_obs is None
+        assert tracker._prev_estimate is None
+
+    def test_counters_emitted_for_each_decision(self, face_map, quiet_channel):
+        obs.reset()
+        obs.set_enabled(True)
+        tracker = _tracker(face_map, warmup_rounds=3, halflife_rounds=2.0, min_reporting=3)
+        for r in range(12):
+            rss = _observe(quiet_channel, TARGET)
+            rss[:, 0] = -41.0
+            tracker.localize(rss, t=float(r))
+        weak = _observe(quiet_channel, TARGET)
+        weak[:, 2:] = np.nan
+        tracker.localize(weak, t=12.0)
+        snap = obs.snapshot()
+        assert snap["tracker.degradation.suppression_rounds"]["value"] >= 1
+        assert snap["tracker.degradation.quorum_fallbacks"]["value"] == 1
+        assert "tracker.degradation.suppressed_pairs" in snap
+
+    def test_no_counters_when_disabled(self, face_map, quiet_channel):
+        obs.reset()
+        obs.set_enabled(False)
+        tracker = _tracker(face_map, min_reporting=3)
+        tracker.localize(_observe(quiet_channel, TARGET), t=0.0)
+        weak = _observe(quiet_channel, TARGET)
+        weak[:, 2:] = np.nan
+        tracker.localize(weak, t=1.0)
+        assert "tracker.degradation.quorum_fallbacks" not in obs.snapshot()

@@ -22,7 +22,13 @@ from typing import Any
 import numpy as np
 
 from repro.config import GridConfig, SimulationConfig
-from repro.network.faults import CompositeFaults, CrashFailures, IndependentDropout
+from repro.network.faults import (
+    ByzantineRSS,
+    CompositeFaults,
+    CrashFailures,
+    IndependentDropout,
+    Schedule,
+)
 from repro.sim.runner import run_all_trackers
 from repro.sim.scenario import make_scenario
 
@@ -48,6 +54,19 @@ SCENARIOS: dict[str, dict[str, Any]] = {
             ]
         )
     },
+    # lying sensors + a scripted blackout: pins ByzantineRSS's per-sample
+    # replacement stream and the degradation path of ``fttt-robust`` —
+    # rounds 4-6 leave only two reporters, so the quorum check must hold
+    # the previous face (sq_distance serializes as inf)
+    "byzantine": {
+        "faults": lambda: CompositeFaults(
+            [
+                ByzantineRSS(fraction=0.25),
+                Schedule(outages=tuple((s, 4, 7) for s in range(6))),
+            ]
+        ),
+        "trackers": ["fttt", "fttt-robust", "fttt-zero"],
+    },
 }
 
 
@@ -65,7 +84,11 @@ def build_trace(name: str) -> dict[str, Any]:
     scenario = make_scenario(_CONFIG, seed=_SCENARIO_SEED)
     faults = spec["faults"]() if spec["faults"] is not None else None
     results = run_all_trackers(
-        scenario, _TRACKERS, rng=_RNG_SEED, faults=faults, n_rounds=_N_ROUNDS
+        scenario,
+        spec.get("trackers", _TRACKERS),
+        rng=_RNG_SEED,
+        faults=faults,
+        n_rounds=_N_ROUNDS,
     )
     trackers: dict[str, Any] = {}
     for tracker_name, result in results.items():

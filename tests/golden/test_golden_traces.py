@@ -58,3 +58,33 @@ def test_faulty_trace_has_masked_rounds():
     n_reporting = [r["n_reporting"] for r in golden["trackers"]["fttt"]["rounds"]]
     baseline = [r["n_reporting"] for r in load_golden("baseline")["trackers"]["fttt"]["rounds"]]
     assert min(n_reporting) < max(baseline)
+
+
+def test_byzantine_trace_exercises_quorum_fallback():
+    """The byzantine fixture pins the degradation path, not just matching.
+
+    The scripted blackout leaves fewer than three reporters mid-run;
+    ``fttt-robust`` must hold the previous face there (``sq_distance``
+    serializes as ``inf``) while plain ``fttt`` keeps matching.
+    """
+    golden = load_golden("byzantine")
+    robust = golden["trackers"]["fttt-robust"]["rounds"]
+    plain = golden["trackers"]["fttt"]["rounds"]
+    held = [r for r in robust if r["sq_distance"] == "inf"]
+    assert held, "no quorum-fallback round pinned"
+    assert all(r["n_reporting"] < 3 for r in held)
+    assert not any(r["sq_distance"] == "inf" for r in plain)
+    # a held round repeats the previous round's position bit-for-bit
+    idx = robust.index(held[0])
+    assert idx > 0
+    assert held[0]["position"] == robust[idx - 1]["position"]
+
+
+def test_byzantine_trace_separates_trackers():
+    """Value faults must actually split the three pinned trackers."""
+    golden = load_golden("byzantine")
+    rounds = {t: golden["trackers"][t]["rounds"] for t in golden["trackers"]}
+    assert rounds["fttt"] != rounds["fttt-robust"]
+    assert golden["trackers"]["fttt"]["mean_error"] != (
+        golden["trackers"]["fttt-robust"]["mean_error"]
+    )

@@ -1,4 +1,12 @@
-"""Tests for repro.network.faults."""
+"""Tests for repro.network.faults (omission models).
+
+Value-fault models have their own module (``test_value_faults.py``);
+here lives the blitz on the original omission path: rng-stream
+determinism, frozen-dataclass validation, ``CompositeFaults``
+associativity, and the p=0 / p=1 edges.
+"""
+
+import dataclasses
 
 import numpy as np
 import pytest
@@ -11,6 +19,11 @@ from repro.network.faults import (
     IntermittentFaults,
     NoFaults,
 )
+
+
+def _mask_series(model, n=12, rounds=8, seed=123):
+    rng = np.random.default_rng(seed)
+    return np.stack([model.drop_mask(n, r, rng) for r in range(rounds)])
 
 
 class TestNoFaults:
@@ -106,3 +119,89 @@ class TestCompositeFaults:
         m = CompositeFaults(models=(crash, IndependentDropout(p=0.0)))
         late = m.drop_mask(10, 100, rng)
         assert late.sum() == 5
+
+    def test_associativity(self):
+        """Nesting composites consumes the rng stream identically to flattening."""
+
+        def parts():
+            return (
+                IndependentDropout(p=0.4),
+                CrashFailures(crash_fraction=0.5, horizon_rounds=6),
+                IntermittentFaults(p_fail=0.2, p_recover=0.4),
+            )
+
+        a, b, c = parts()
+        flat = _mask_series(CompositeFaults((a, b, c)))
+        a, b, c = parts()
+        left = _mask_series(CompositeFaults((CompositeFaults((a, b)), c)))
+        a, b, c = parts()
+        right = _mask_series(CompositeFaults((a, CompositeFaults((b, c)))))
+        assert np.array_equal(flat, left)
+        assert np.array_equal(flat, right)
+
+
+class TestStreamDeterminism:
+    """Same seed, same model parameters -> bit-identical mask series."""
+
+    MODELS = [
+        lambda: NoFaults(),
+        lambda: IndependentDropout(p=0.3),
+        lambda: CrashFailures(crash_fraction=0.4, horizon_rounds=6),
+        lambda: IntermittentFaults(p_fail=0.2, p_recover=0.4),
+        lambda: CompositeFaults((IndependentDropout(p=0.2), IntermittentFaults())),
+    ]
+
+    @pytest.mark.parametrize("make", MODELS)
+    def test_replay_is_bit_identical(self, make):
+        assert np.array_equal(_mask_series(make()), _mask_series(make()))
+
+    @pytest.mark.parametrize("make", MODELS)
+    def test_round_zero_resets_state(self, make):
+        """One instance reused across runs equals a fresh instance per run."""
+        shared = make()
+        first = _mask_series(shared, seed=7)
+        again = _mask_series(shared, seed=7)  # round_index 0 re-draws state
+        assert np.array_equal(first, again)
+
+    def test_disabled_dropout_consumes_no_rng(self):
+        """p=0 must not advance the stream (composites stay comparable)."""
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        IndependentDropout(p=0.0).drop_mask(50, 0, rng_a)
+        assert rng_a.random() == rng_b.random()
+
+
+class TestValidationAndFrozen:
+    def test_frozen_models_reject_mutation(self):
+        for model in (NoFaults(), IndependentDropout(p=0.2)):
+            with pytest.raises(dataclasses.FrozenInstanceError):
+                model.p = 0.9
+
+    @pytest.mark.parametrize("p", [-0.01, 1.01, 5.0])
+    def test_dropout_rejects_out_of_range_p(self, p):
+        with pytest.raises(ValueError):
+            IndependentDropout(p=p)
+
+    def test_crash_validation_messages(self):
+        with pytest.raises(ValueError, match="crash fraction"):
+            CrashFailures(crash_fraction=-0.5)
+        with pytest.raises(ValueError, match="horizon"):
+            CrashFailures(horizon_rounds=-3)
+
+    def test_intermittent_validates_both_probabilities(self):
+        with pytest.raises(ValueError, match="p_recover"):
+            IntermittentFaults(p_fail=0.5, p_recover=1.5)
+
+
+class TestEdges:
+    def test_intermittent_p_fail_one_p_recover_zero(self, rng):
+        """Everything fails immediately and never recovers."""
+        m = IntermittentFaults(p_fail=1.0, p_recover=0.0)
+        masks = np.stack([m.drop_mask(30, r, rng) for r in range(5)])
+        assert masks.all()
+
+    def test_crash_everything_at_horizon_one(self, rng):
+        # horizon 1: every crash round is 0, so all sensors are dark from the start
+        m = CrashFailures(crash_fraction=1.0, horizon_rounds=1)
+        assert m.drop_mask(10, 0, rng).all()
+        assert m.drop_mask(10, 1, rng).all()

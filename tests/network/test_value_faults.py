@@ -1,0 +1,273 @@
+"""Tests for the value-fault and geometry-aware models in repro.network.faults.
+
+These are the fault-lab additions: sensors that *keep reporting* but lie
+(``StuckReading``, ``ByzantineRSS``, ``CalibrationDrift``), spatially
+correlated omission (``RegionalOutage``), scripted timelines
+(``Schedule``), and their composition with the omission models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network.faults import (
+    ByzantineRSS,
+    CalibrationDrift,
+    CompositeFaults,
+    IndependentDropout,
+    RegionalOutage,
+    Schedule,
+    StuckReading,
+    ValueFaultModel,
+)
+
+
+def _rss(k=4, n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-95.0, -45.0, size=(k, n))
+
+
+class TestStuckReading:
+    def test_protocol(self):
+        assert isinstance(StuckReading(), ValueFaultModel)
+
+    def test_stuck_sensor_repeats_held_value(self, rng):
+        m = StuckReading(fraction=0.5, horizon_rounds=1)  # everyone sticks at round 0
+        out0 = m.corrupt(_rss(seed=1), 0, rng)
+        stuck = m._stick_round < np.iinfo(np.int64).max
+        assert stuck.sum() == 4
+        out1 = m.corrupt(_rss(seed=2), 1, rng)
+        for s in np.nonzero(stuck)[0]:
+            # every sample of a stuck sensor equals the value captured at round 0
+            assert np.all(out1[:, s] == out0[0, s])
+
+    def test_healthy_sensors_untouched(self, rng):
+        m = StuckReading(fraction=0.25, horizon_rounds=1)
+        clean = _rss(seed=3)
+        out = m.corrupt(clean, 0, rng)
+        stuck = m._stick_round < np.iinfo(np.int64).max
+        assert np.array_equal(out[:, ~stuck], clean[:, ~stuck])
+
+    def test_zero_fraction_is_identity_object(self, rng):
+        m = StuckReading(fraction=0.0)
+        clean = _rss()
+        assert m.corrupt(clean, 0, rng) is clean
+
+    def test_nan_entries_stay_nan(self, rng):
+        m = StuckReading(fraction=1.0, horizon_rounds=1)
+        clean = _rss(seed=4)
+        clean[1, :] = np.nan
+        out = m.corrupt(clean, 0, rng)
+        assert np.isnan(out[1, :]).all()
+
+    def test_held_value_captured_on_next_report(self, rng):
+        """A sensor silent at its stick round holds its *next* finite sample."""
+        m = StuckReading(fraction=1.0, horizon_rounds=1)
+        silent = np.full((3, 4), np.nan)
+        out0 = m.corrupt(silent, 0, rng)
+        assert np.isnan(out0).all()  # nothing to hold yet
+        clean = _rss(k=3, n=4, seed=5)
+        out1 = m.corrupt(clean, 1, rng)
+        assert np.all(out1 == clean[0, :][None, :])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StuckReading(fraction=1.2)
+        with pytest.raises(ValueError):
+            StuckReading(horizon_rounds=0)
+
+
+class TestByzantineRSS:
+    def test_replaces_victim_samples_within_range(self, rng):
+        m = ByzantineRSS(fraction=0.5, rss_range_dbm=(-110.0, -40.0))
+        clean = _rss(seed=6)
+        out = m.corrupt(clean, 0, rng)
+        vic = m._victims
+        assert vic.sum() == 4
+        assert not np.array_equal(out[:, vic], clean[:, vic])
+        assert (out[:, vic] >= -110.0).all() and (out[:, vic] <= -40.0).all()
+        assert np.array_equal(out[:, ~vic], clean[:, ~vic])
+
+    def test_zero_fraction_is_identity_and_consumes_no_rng(self):
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        clean = _rss()
+        assert ByzantineRSS(fraction=0.0).corrupt(clean, 0, rng_a) is clean
+        assert rng_a.random() == rng_b.random()
+
+    def test_fixed_shape_draw_ignores_nan_pattern(self):
+        """The stream advances identically whatever the NaN pattern."""
+        clean = _rss(seed=7)
+        holey = clean.copy()
+        holey[0, :] = np.nan
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        ByzantineRSS(fraction=0.5).corrupt(clean, 0, rng_a)
+        ByzantineRSS(fraction=0.5).corrupt(holey, 0, rng_b)
+        assert rng_a.random() == rng_b.random()
+
+    def test_victims_redrawn_at_round_zero(self, rng):
+        m = ByzantineRSS(fraction=0.25)
+        m.corrupt(_rss(), 0, rng)
+        first = m._victims.copy()
+        m.corrupt(_rss(), 5, rng)
+        assert np.array_equal(m._victims, first)  # stable within a run
+        m.corrupt(_rss(), 0, rng)  # new run
+        # the redraw consumed fresh rng, so equality would be a coincidence
+        assert m._victims.sum() == first.sum()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ByzantineRSS(fraction=-0.1)
+        with pytest.raises(ValueError):
+            ByzantineRSS(rss_range_dbm=(-40.0, -110.0))
+
+
+class TestCalibrationDrift:
+    def test_bias_grows_linearly(self, rng):
+        m = CalibrationDrift(drift_db_per_round=0.5)
+        clean = _rss(seed=8)
+        out0 = m.corrupt(clean, 0, rng)
+        assert out0 is clean  # round 0: zero bias, identity object
+        rates = m._rates
+        out3 = m.corrupt(clean, 3, rng)
+        assert np.allclose(out3, clean + 3.0 * rates[None, :])
+        out6 = m.corrupt(clean, 6, rng)
+        assert np.allclose(out6 - clean, 2.0 * (out3 - clean))
+
+    def test_zero_scale_is_identity_and_consumes_no_rng(self):
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        clean = _rss()
+        assert CalibrationDrift(drift_db_per_round=0.0).corrupt(clean, 5, rng_a) is clean
+        assert rng_a.random() == rng_b.random()
+
+    def test_nan_stays_nan(self, rng):
+        m = CalibrationDrift(drift_db_per_round=1.0)
+        clean = _rss(seed=9)
+        clean[:, 2] = np.nan
+        out = m.corrupt(clean, 4, rng)
+        assert np.isnan(out[:, 2]).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CalibrationDrift(drift_db_per_round=-1.0)
+
+
+class TestRegionalOutage:
+    def _nodes(self, n=9):
+        g = np.linspace(10.0, 90.0, 3)
+        return np.array([(x, y) for x in g for y in g])
+
+    def test_requires_geometry(self, rng):
+        with pytest.raises(RuntimeError, match="bind"):
+            RegionalOutage().drop_mask(9, 0, rng)
+
+    def test_outage_is_spatially_correlated(self):
+        nodes = self._nodes()
+        m = RegionalOutage(radius_m=30.0, p_start=1.0, duration_rounds=3, nodes=nodes)
+        rng = np.random.default_rng(2)
+        mask = m.drop_mask(9, 0, rng)
+        assert mask.any()
+        d = np.hypot(nodes[:, 0] - m._center[0], nodes[:, 1] - m._center[1])
+        assert np.array_equal(mask, d <= 30.0)
+
+    def test_outage_lasts_duration_rounds(self):
+        m = RegionalOutage(radius_m=200.0, p_start=1.0, duration_rounds=2, nodes=self._nodes())
+        rng = np.random.default_rng(0)
+        masks = [m.drop_mask(9, r, rng) for r in range(6)]
+        assert all(mask.all() for mask in masks)  # p_start=1: back-to-back outages
+
+    def test_zero_p_start_never_fires(self):
+        m = RegionalOutage(p_start=0.0, nodes=self._nodes())
+        rng = np.random.default_rng(0)
+        assert not np.stack([m.drop_mask(9, r, rng) for r in range(10)]).any()
+
+    def test_bind_after_construction(self, rng):
+        m = RegionalOutage(p_start=0.0)
+        m.bind(self._nodes())
+        assert not m.drop_mask(9, 0, rng).any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegionalOutage(radius_m=0.0)
+        with pytest.raises(ValueError):
+            RegionalOutage(p_start=1.5)
+        with pytest.raises(ValueError):
+            RegionalOutage(duration_rounds=0)
+
+
+class TestSchedule:
+    def test_scripted_timeline(self, rng):
+        m = Schedule(outages=((0, 2, 4), (1, 0, 10)))
+        assert np.array_equal(m.drop_mask(3, 0, rng), [False, True, False])
+        assert np.array_equal(m.drop_mask(3, 2, rng), [True, True, False])
+        assert np.array_equal(m.drop_mask(3, 4, rng), [False, True, False])
+        assert np.array_equal(m.drop_mask(3, 10, rng), [False, False, False])
+
+    def test_die_revive_die_again(self, rng):
+        m = Schedule(outages=((0, 0, 2), (0, 5, 7)))
+        series = [bool(m.drop_mask(1, r, rng)[0]) for r in range(8)]
+        assert series == [True, True, False, False, False, True, True, False]
+
+    def test_no_rng_consumed(self):
+        rng = np.random.default_rng(0)
+        before = rng.bit_generator.state
+        Schedule(outages=((0, 1, 2),)).drop_mask(4, 1, rng)
+        assert rng.bit_generator.state == before
+
+    def test_rejects_overlapping_intervals(self):
+        with pytest.raises(ValueError, match="overlap"):
+            Schedule(outages=((0, 0, 5), (0, 3, 8)))
+
+    def test_rejects_malformed_entries(self):
+        with pytest.raises(ValueError):
+            Schedule(outages=((0, 5, 5),))  # empty interval
+        with pytest.raises(ValueError):
+            Schedule(outages=((-1, 0, 2),))
+        with pytest.raises(ValueError):
+            Schedule(outages=((0, 1),))  # not a triple
+
+    def test_rejects_sensor_beyond_deployment(self, rng):
+        with pytest.raises(ValueError, match="deployment has"):
+            Schedule(outages=((7, 0, 2),)).drop_mask(4, 0, rng)
+
+
+class TestMixedComposites:
+    def test_drop_and_corrupt_chain(self, rng):
+        m = CompositeFaults(
+            (IndependentDropout(p=1.0), CalibrationDrift(drift_db_per_round=0.5))
+        )
+        assert m.drop_mask(8, 0, rng).all()
+        clean = _rss()
+        m.corrupt(clean, 0, rng)  # draws rates
+        out = m.corrupt(clean, 2, rng)
+        assert out is not clean and not np.array_equal(out, clean)
+
+    def test_pure_drop_composite_corrupt_is_identity(self, rng):
+        m = CompositeFaults((IndependentDropout(p=0.5),))
+        clean = _rss()
+        assert m.corrupt(clean, 0, rng) is clean
+
+    def test_corruptions_chain_in_order(self):
+        """stuck-then-drift: drift biases the held value too."""
+
+        def run(models, seed=11):
+            rng = np.random.default_rng(seed)
+            m = CompositeFaults(models)
+            m.corrupt(_rss(seed=12), 0, rng)
+            return m.corrupt(_rss(seed=13), 3, rng)
+
+        stuck_then_drift = run(
+            (StuckReading(fraction=1.0, horizon_rounds=1), CalibrationDrift(0.5))
+        )
+        drift_then_stuck = run(
+            (CalibrationDrift(0.5), StuckReading(fraction=1.0, horizon_rounds=1))
+        )
+        assert not np.array_equal(stuck_then_drift, drift_then_stuck)
+
+    def test_bind_propagates_to_members(self, rng):
+        nodes = np.array([[0.0, 0.0], [50.0, 50.0]])
+        regional = RegionalOutage(p_start=0.0)
+        m = CompositeFaults((IndependentDropout(p=0.0), regional))
+        m.bind(nodes)
+        assert not m.drop_mask(2, 0, rng).any()

@@ -1,0 +1,214 @@
+"""Property-based invariants for the fault-lab value-fault models.
+
+The contracts the fault lab leans on:
+
+* ``corrupt`` never mutates the clean reading array in place — it
+  returns the same object (no-op) or a fresh array;
+* ``Schedule`` death/revival is monotone per sensor: the mask is True
+  exactly inside the scripted ``[down, up)`` intervals, so each triple
+  contributes one death and one revival, in round order;
+* ``RegionalOutage`` masks are a pure function of (seed, geometry,
+  round sequence): independent instances — e.g. pool workers that each
+  rebuilt the model — produce bit-identical series for identical seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.faults import (
+    ByzantineRSS,
+    CalibrationDrift,
+    CompositeFaults,
+    IndependentDropout,
+    RegionalOutage,
+    Schedule,
+    StuckReading,
+)
+
+# -- strategies ---------------------------------------------------------------
+
+
+@st.composite
+def rss_matrices(draw):
+    k = draw(st.integers(1, 5))
+    n = draw(st.integers(2, 8))
+    flat = draw(
+        st.lists(st.floats(-100.0, 0.0, allow_nan=False), min_size=k * n, max_size=k * n)
+    )
+    rss = np.asarray(flat, dtype=float).reshape(k, n)
+    # a sprinkle of NaN columns: out-of-range / silent sensors
+    for s in draw(st.lists(st.integers(0, n - 1), max_size=2)):
+        rss[:, s] = np.nan
+    return rss
+
+
+def _value_model(kind: str, intensity: float):
+    if kind == "stuck":
+        return StuckReading(fraction=intensity, horizon_rounds=3)
+    if kind == "byzantine":
+        return ByzantineRSS(fraction=intensity)
+    if kind == "drift":
+        return CalibrationDrift(drift_db_per_round=2.0 * intensity)
+    return CompositeFaults(
+        (
+            StuckReading(fraction=intensity, horizon_rounds=3),
+            CalibrationDrift(drift_db_per_round=intensity),
+        )
+    )
+
+
+VALUE_KINDS = ("stuck", "byzantine", "drift", "composite")
+
+
+@st.composite
+def schedules(draw, max_sensor=6):
+    """Random disjoint per-sensor outage intervals."""
+    outages = []
+    for s in range(draw(st.integers(1, max_sensor))):
+        edges = sorted(draw(st.lists(st.integers(0, 30), min_size=0, max_size=6, unique=True)))
+        for down, up in zip(edges[::2], edges[1::2]):
+            outages.append((s, down, up))
+    return Schedule(outages=tuple(outages))
+
+
+# -- corrupt never mutates in place -------------------------------------------
+
+
+@given(
+    st.sampled_from(VALUE_KINDS),
+    st.floats(0.0, 1.0),
+    rss_matrices(),
+    st.integers(0, 10_000),
+    st.integers(1, 6),
+)
+@settings(max_examples=80, deadline=None)
+def test_corrupt_never_mutates_input(kind, intensity, rss, seed, rounds):
+    model = _value_model(kind, intensity)
+    rng = np.random.default_rng(seed)
+    for r in range(rounds):
+        snapshot = rss.copy()
+        out = model.corrupt(rss, r, rng)
+        assert np.array_equal(rss, snapshot, equal_nan=True), "input mutated in place"
+        if out is not rss:
+            assert out.shape == rss.shape
+
+
+@given(st.sampled_from(VALUE_KINDS), st.floats(0.0, 1.0), rss_matrices(), st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_corrupt_is_deterministic_per_seed(kind, intensity, rss, seed):
+    out_a = _value_model(kind, intensity).corrupt(rss, 0, np.random.default_rng(seed))
+    out_b = _value_model(kind, intensity).corrupt(rss, 0, np.random.default_rng(seed))
+    assert np.array_equal(out_a, out_b, equal_nan=True)
+
+
+@given(st.sampled_from(VALUE_KINDS), st.floats(0.01, 1.0), rss_matrices(), st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_corrupt_preserves_nan_pattern_superset(kind, intensity, rss, seed):
+    """Value faults corrupt readings; they never fabricate missing ones."""
+    out = _value_model(kind, intensity).corrupt(rss, 2, np.random.default_rng(seed))
+    assert not (np.isnan(rss) & ~np.isnan(out)).any()
+
+
+# -- Schedule: scripted monotone timelines ------------------------------------
+
+
+@given(schedules(), st.integers(6, 12))
+@settings(max_examples=60, deadline=None)
+def test_schedule_matches_interval_oracle(schedule, n):
+    rng = np.random.default_rng(0)
+    for r in range(32):
+        mask = schedule.drop_mask(n, r, rng)
+        for s in range(n):
+            expected = any(
+                sensor == s and down <= r < up for sensor, down, up in schedule.outages
+            )
+            assert mask[s] == expected
+
+
+@given(schedules())
+@settings(max_examples=60, deadline=None)
+def test_schedule_transitions_are_monotone(schedule):
+    """Each scripted triple yields exactly one death and one revival."""
+    rng = np.random.default_rng(0)
+    n = 1 + max((s for s, _, _ in schedule.outages), default=0)
+    series = np.stack([schedule.drop_mask(n, r, rng) for r in range(33)])
+    # prepend the implicit pre-round-0 "alive" state so a death at round 0
+    # still shows up as a transition
+    series = np.vstack([np.zeros(n, dtype=bool), series])
+    for s in range(n):
+        flips = int(np.abs(np.diff(series[:, s].astype(int))).sum())
+        triples = [t for t in schedule.outages if t[0] == s]
+        in_window = [t for t in triples if t[1] < 33]
+        expected = sum(2 if up <= 32 else 1 for _, down, up in in_window)
+        assert flips <= 2 * len(triples)
+        assert flips == expected
+
+
+# -- RegionalOutage: seed-determinism across instances ------------------------
+
+
+@st.composite
+def deployments(draw):
+    n = draw(st.integers(2, 10))
+    seed = draw(st.integers(0, 5_000))
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 100.0, size=(n, 2))
+
+
+@given(deployments(), st.integers(0, 10_000), st.floats(0.05, 1.0), st.integers(5, 40))
+@settings(max_examples=60, deadline=None)
+def test_regional_outage_identical_across_instances(nodes, seed, p_start, radius):
+    """Two independent instances (= two pool workers) agree bit-for-bit."""
+
+    def series():
+        m = RegionalOutage(radius_m=radius, p_start=p_start, duration_rounds=3, nodes=nodes)
+        rng = np.random.default_rng(seed)
+        return np.stack([m.drop_mask(len(nodes), r, rng) for r in range(12)])
+
+    assert np.array_equal(series(), series())
+
+
+@given(deployments(), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_regional_outage_round_zero_reset(nodes, seed):
+    """Reusing one instance across runs equals a fresh instance per run."""
+    m = RegionalOutage(radius_m=30.0, p_start=0.5, duration_rounds=4, nodes=nodes)
+
+    def series(model):
+        rng = np.random.default_rng(seed)
+        return np.stack([model.drop_mask(len(nodes), r, rng) for r in range(10)])
+
+    first = series(m)
+    again = series(m)  # same instance, second run: round 0 resets outage state
+    assert np.array_equal(first, again)
+
+
+# -- drop models never consult the readings -----------------------------------
+
+
+@given(rss_matrices(), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_composite_corrupt_chains_equal_manual(rss, seed):
+    """CompositeFaults.corrupt == folding members' corrupt in order."""
+    def members():
+        return (
+            StuckReading(fraction=0.5, horizon_rounds=2),
+            IndependentDropout(p=0.3),  # no corrupt: skipped by the chain
+            CalibrationDrift(drift_db_per_round=0.4),
+        )
+
+    composite = CompositeFaults(members())
+    rng_c = np.random.default_rng(seed)
+    got = [composite.corrupt(rss, r, rng_c) for r in range(4)]
+
+    parts = members()
+    rng_m = np.random.default_rng(seed)
+    for r in range(4):
+        manual = rss
+        for part in parts:
+            if hasattr(part, "corrupt"):
+                manual = part.corrupt(manual, r, rng_m)
+        assert np.array_equal(got[r], manual, equal_nan=True)

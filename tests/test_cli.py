@@ -31,6 +31,7 @@ class TestParser:
             "density",
             "report",
             "run",
+            "faultlab",
         } <= names
 
 
@@ -93,6 +94,42 @@ class TestFigureCommands:
         assert (tmp_path / "fig11.csv").exists()
         out = capsys.readouterr().out
         assert "direct-mle" in out
+
+
+class TestFaultlab:
+    def test_faultlab_quick_end_to_end(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "faultlab",
+                    "--quick",
+                    "--reps",
+                    "1",
+                    "--families",
+                    "byzantine",
+                    "--intensities",
+                    "0.0,0.3",
+                    "--trackers",
+                    "fttt,fttt-robust",
+                    "--workers",
+                    "1",
+                    "--out",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "robustness: byzantine" in out
+        assert "fttt-robust@0.30" in out
+        assert (tmp_path / "robustness.csv").exists()
+        assert (tmp_path / "metrics.json").exists()
+
+    def test_faultlab_rejects_unknown_family(self, tmp_path, capsys):
+        assert (
+            main(["faultlab", "--families", "gremlins", "--out", str(tmp_path)]) == 2
+        )
+        assert "unknown fault family" in capsys.readouterr().out
 
 
 class TestReport:

@@ -28,6 +28,7 @@ def test_all_exports_resolve():
         "repro.analysis",
         "repro.sim",
         "repro.testbed",
+        "repro.faultlab",
     ],
 )
 def test_subpackage_all_exports(module):
