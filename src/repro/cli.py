@@ -47,6 +47,7 @@ EXPERIMENTS = {
     "ablations": "design-choice ablations: C calibration, matcher hops, soft signatures, noise structure",
     "density": "the §5.2 density trade-off: accuracy vs relay load / lifetime",
     "faultlab": "fault-injection campaign: robustness curves per fault family x intensity",
+    "fuzz": "differential fuzzing: optimized kernels vs the oracle tier",
 }
 
 
@@ -267,6 +268,56 @@ def cmd_faultlab(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.oracle.fuzz import run_fuzz
+
+    summary = run_fuzz(
+        args.scenarios,
+        seed=args.seed,
+        n_workers=args.workers,
+        artifact_dir=args.out,
+        shrink=not args.no_shrink,
+    )
+    print(
+        f"fuzz: {summary['n_scenarios']} scenarios, {summary['n_checks']} checks, "
+        f"{summary['n_workers']} worker(s), seed {summary['seed']}"
+    )
+    print(f"digest: {summary['digest']}")
+    first = summary["first_divergence"]
+    if first is None:
+        print("no divergences: optimized kernels agree with the oracle tier")
+        return 0
+    print(
+        f"DIVERGENCE at scenario {first['index']} (check: {first['check']}), "
+        f"{summary['n_divergent']} scenario(s) affected"
+    )
+    print(f"shrunk repro written to {first['artifact']}")
+    print(f"replay with: fttt replay-divergence {first['artifact']}")
+    return 1
+
+
+def cmd_replay_divergence(args: argparse.Namespace) -> int:
+    from repro.oracle.fuzz import replay_divergence
+
+    result = replay_divergence(args.artifact)
+    report = result["report"]
+    spec = report["spec"]
+    print(
+        f"spec: {spec['n_nodes']} nodes, cell {spec['cell_size']}m, C implied by "
+        f"(beta={spec['beta']:.3f}, sigma={spec['sigma']:.3f}, eps={spec['resolution_eps']:.3f}), "
+        f"mode {spec['mode']}, k={spec['k']}, {spec['n_rounds']} round(s), "
+        f"fault {spec['value_fault']}, degradation {spec['degradation']}"
+    )
+    print(f"recorded check: {result['recorded_check']}")
+    if not report["divergences"]:
+        print("scenario is clean: the recorded divergence no longer reproduces")
+        return 0
+    for d in report["divergences"]:
+        print(f"  diverged: {d['check']}" + (f" (round {d['round']})" if "round" in d else ""))
+    print("reproduced" if result["reproduced"] else "different check diverged")
+    return 1
+
+
 def cmd_sampling_times(args: argparse.Namespace) -> int:
     n = args.sensors
     n_pairs = n * (n - 1) // 2
@@ -346,6 +397,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pfl.add_argument("--workers", type=int, default=None, help="pool size (default: auto)")
     pfl.set_defaults(func=cmd_faultlab)
+
+    pfz = sub.add_parser("fuzz", help=EXPERIMENTS["fuzz"])
+    pfz.add_argument(
+        "--scenarios",
+        type=int,
+        default=None,
+        help="scenario budget (default: REPRO_FUZZ_BUDGET env, else 200)",
+    )
+    pfz.add_argument("--seed", type=int, default=0, help="campaign master seed")
+    pfz.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool size (default: REPRO_WORKERS env, else 1); results are identical either way",
+    )
+    pfz.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="directory for divergence artifacts (default: results/fuzz)",
+    )
+    pfz.add_argument(
+        "--no-shrink", action="store_true", help="report the raw spec without minimizing it"
+    )
+    pfz.set_defaults(func=cmd_fuzz)
+
+    prd = sub.add_parser(
+        "replay-divergence", help="re-run a recorded fuzz divergence artifact"
+    )
+    prd.add_argument("artifact", help="path to a divergence_*.json written by fttt fuzz")
+    prd.set_defaults(func=cmd_replay_divergence)
 
     pst = sub.add_parser("sampling-times", help=EXPERIMENTS["sampling-times"])
     pst.add_argument("--sensors", type=int, default=20)

@@ -208,11 +208,20 @@ class FaceMap:
 
         Two faces tie when their squared distances agree to within float32
         accumulation error over P = C(n, 2) terms — ``eps32 * sqrt(P)``
-        relative — floored at the legacy absolute ``1e-6`` so near-zero
-        distances keep their historical behavior.
+        relative — floored at the legacy absolute ``1e-6``.
+
+        An exact match (``best == 0``) is special: its Definition 7
+        similarity is infinite, so no other face can tie with it.  The
+        relative tolerance is naturally 0 there, and applying the
+        absolute floor instead would admit soft-signature faces a genuine
+        ``~1e-8`` away — two bit-equal faces must tie with each other and
+        with nothing else.
         """
+        best = float(best)
+        if best == 0.0:
+            return 0.0
         eps32 = float(np.finfo(np.float32).eps)
-        return max(1e-6, float(best) * eps32 * math.sqrt(self.n_pairs))
+        return max(1e-6, best * eps32 * math.sqrt(self.n_pairs))
 
     def match(self, vector: np.ndarray, *, soft: bool = False) -> tuple[np.ndarray, float]:
         """Exhaustive maximum-likelihood matching (paper §4.4-1).

@@ -1,0 +1,121 @@
+"""Analysis oracle: Monte-Carlo validation of the §5.1 / Appendix-II math.
+
+The closed forms under test:
+
+* ``f = (1/2)^(k-1)`` — a k-sample group misses a flipped pair;
+* ``f_N = (1 - f)^(N-1)`` — a group captures all N flips;
+* the sampling-times rule ``k > 1 - log2(1 - lambda^(1/(N-1)))``;
+* ``E_N = N * f`` — the expected inter-face (vector) error.
+
+The estimators below simulate the underlying coin-flip experiments with
+scalar Python loops and per-trial draws — deliberately nothing shared
+with :func:`repro.analysis.sampling_times.simulate_flip_capture` or
+:func:`repro.analysis.error_bounds.simulate_interface_error`, which are
+vectorized over a single batched draw.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.rng import ensure_rng
+
+__all__ = [
+    "mc_flip_capture",
+    "mc_interface_error",
+    "check_sampling_times_bound",
+]
+
+
+def mc_flip_capture(
+    k: int,
+    n_pairs: int,
+    n_trials: int = 4000,
+    rng: "np.random.Generator | int | None" = None,
+) -> float:
+    """Monte-Carlo ``f_N``: fraction of trials where every flipped pair
+    shows both orders within its k samples.
+
+    Each sample of a flipped pair is a fair coin (the target is in the
+    pair's uncertain area, §5.1); a pair is *captured* iff its k flips
+    are not unanimous.
+    """
+    if k < 1 or n_pairs < 1 or n_trials < 1:
+        raise ValueError("k, n_pairs and n_trials must all be >= 1")
+    rng = ensure_rng(rng)
+    captured_all = 0
+    for _ in range(n_trials):
+        ok = True
+        for _pair in range(n_pairs):
+            heads = 0
+            for _ in range(k):
+                if rng.random() < 0.5:
+                    heads += 1
+            if heads == 0 or heads == k:  # unanimous: the flip was missed
+                ok = False
+                break
+        if ok:
+            captured_all += 1
+    return captured_all / n_trials
+
+
+def mc_interface_error(
+    k: int,
+    n_pairs: int,
+    n_trials: int = 4000,
+    rng: "np.random.Generator | int | None" = None,
+) -> float:
+    """Monte-Carlo ``E_N``: mean vector displacement over trials.
+
+    Each of the N simultaneously-uncertain pairs is missed independently
+    iff its k coin flips are unanimous (probability ``(1/2)^(k-1)``);
+    every missed pair displaces the matched face by one vector unit
+    (Appendix II).
+    """
+    if k < 1 or n_pairs < 0 or n_trials < 1:
+        raise ValueError("k and n_trials must be >= 1, n_pairs >= 0")
+    rng = ensure_rng(rng)
+    total = 0
+    for _ in range(n_trials):
+        for _pair in range(n_pairs):
+            first = rng.random() < 0.5
+            missed = all((rng.random() < 0.5) == first for _ in range(k - 1))
+            if missed:
+                total += 1
+    return total / n_trials
+
+
+def check_sampling_times_bound(confidence: float, n_pairs: int) -> dict:
+    """Evaluate the §5.1 rule ``k > 1 - log2(1 - lambda^(1/(N-1)))`` directly.
+
+    Returns the real-valued bound, the smallest integer k satisfying the
+    strict inequality *by direct evaluation of* ``(1-f)^(N-1)`` (no
+    logarithms), and whether ``k - 1`` indeed fails — the three facts the
+    production :func:`repro.analysis.sampling_times.required_sampling_times`
+    must reproduce.
+    """
+    if not (0.0 < confidence < 1.0):
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_pairs < 1:
+        raise ValueError(f"n_pairs must be >= 1, got {n_pairs}")
+    exponent = 1.0 if n_pairs == 1 else n_pairs - 1
+
+    def capture(k: int) -> float:
+        f = 0.5 ** (k - 1)
+        return (1.0 - f) ** exponent
+
+    k = 1
+    while capture(k) <= confidence:
+        k += 1
+        if k > 10_000:
+            raise AssertionError("sampling-times search did not terminate")
+    root = confidence ** (1.0 / exponent)
+    bound = 1.0 - math.log2(1.0 - root) if root < 1.0 else float("inf")
+    return {
+        "bound": bound,
+        "k": k,
+        "holds_at_k": capture(k) > confidence,
+        "fails_below_k": k == 1 or capture(k - 1) <= confidence,
+    }

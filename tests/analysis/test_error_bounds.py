@@ -28,6 +28,28 @@ class TestExpectedInterfaceError:
         assert all(a > b for a, b in zip(es, es[1:]))
 
 
+class TestClosedFormGrid:
+    """Hand-computed ``E_N = N * (1/2)^(k-1)`` over the quoted (k, N) grid."""
+
+    EXPECTED = {
+        (2, 4): 2.0,
+        (2, 9): 4.5,
+        (2, 16): 8.0,
+        (5, 4): 0.25,
+        (5, 9): 0.5625,
+        (5, 16): 1.0,
+        (8, 4): 0.03125,
+        (8, 9): 0.0703125,
+        (8, 16): 0.125,
+    }
+
+    @pytest.mark.parametrize("k", [2, 5, 8])
+    @pytest.mark.parametrize("n_pairs", [4, 9, 16])
+    def test_matches_hand_computed(self, k, n_pairs):
+        # dyadic rationals: the closed form must be *exact*, not approximate
+        assert expected_interface_error(k, n_pairs) == self.EXPECTED[(k, n_pairs)]
+
+
 class TestMonteCarloValidation:
     def test_matches_closed_form(self):
         est = simulate_interface_error(5, 20, n_trials=200_000, rng=0)

@@ -73,6 +73,41 @@ class TestRequiredSamplingTimes:
             required_sampling_times(0, 0.9)
 
 
+class TestClosedFormGrid:
+    """Hand-computed k over the (lambda, N) grid the §5.1 rule is quoted for.
+
+    Expected values derived independently: the smallest k with
+    ``(1 - 2^-(k-1))^(N-1) > lambda``, evaluated by direct iteration.
+    """
+
+    EXPECTED = {
+        (0.9, 4): 6,
+        (0.9, 9): 8,
+        (0.9, 16): 9,
+        (0.99, 4): 10,
+        (0.99, 9): 11,
+        (0.99, 16): 12,
+        (0.999, 4): 13,
+        (0.999, 9): 14,
+        (0.999, 16): 15,
+    }
+
+    @pytest.mark.parametrize("confidence", [0.9, 0.99, 0.999])
+    @pytest.mark.parametrize("n_pairs", [4, 9, 16])
+    def test_required_k_matches_hand_computed(self, confidence, n_pairs):
+        assert required_sampling_times(n_pairs, confidence) == self.EXPECTED[
+            (confidence, n_pairs)
+        ]
+
+    @pytest.mark.parametrize("confidence", [0.9, 0.99, 0.999])
+    @pytest.mark.parametrize("n_pairs", [4, 9, 16])
+    def test_k_brackets_the_log_bound(self, confidence, n_pairs):
+        """k is the first integer strictly beyond 1 - log2(1 - lambda^(1/(N-1)))."""
+        k = required_sampling_times(n_pairs, confidence)
+        bound = 1.0 - np.log2(1.0 - confidence ** (1.0 / (n_pairs - 1)))
+        assert k - 1 <= bound < k
+
+
 class TestMonteCarlo:
     def test_matches_closed_form_single_pair(self):
         est = simulate_flip_capture(5, 1, n_trials=200_000, rng=0)

@@ -1,0 +1,86 @@
+"""The tier-1 fuzz sample: 200 randomized scenarios, zero divergences.
+
+This is the acceptance gate of the oracle layer — every optimized kernel
+(face signatures, Algorithm-1 vectors, Eq. 7 distances, exhaustive
+matching, the tracker round loop, and all their batched variants) must
+agree with the straight-from-the-paper reference on every scenario.
+
+A deep run is available by exporting ``REPRO_FUZZ_BUDGET`` (the nightly
+CI job sets it to several thousand); tier-1 keeps the fixed 200.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.oracle.fuzz import default_budget, generate_spec, run_fuzz, run_spec
+
+TIER1_SCENARIOS = 200
+TIER1_SEED = 20260806
+
+
+def test_tier1_sample_has_zero_divergences(tmp_path):
+    summary = run_fuzz(
+        TIER1_SCENARIOS,
+        seed=TIER1_SEED,
+        n_workers=1,
+        artifact_dir=tmp_path,
+        shrink=False,
+    )
+    assert summary["n_scenarios"] == TIER1_SCENARIOS
+    assert summary["n_divergent"] == 0, summary["first_divergence"]
+    assert summary["first_divergence"] is None
+    assert not list(tmp_path.iterdir())  # no artifact without a divergence
+    # every check family must actually have run
+    assert summary["n_checks"] > TIER1_SCENARIOS * 10
+
+
+def test_scenario_generation_is_pure():
+    """Spec *i* is a pure function of (seed, i) — the replay contract."""
+    a = generate_spec(17, TIER1_SEED)
+    b = generate_spec(17, TIER1_SEED)
+    assert a == b
+    assert a.to_dict() == b.to_dict()
+    assert generate_spec(18, TIER1_SEED) != a
+
+
+def test_spec_json_round_trip():
+    from repro.oracle.fuzz import FuzzSpec
+
+    spec = generate_spec(3, TIER1_SEED)
+    assert FuzzSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_run_spec_is_deterministic():
+    spec = generate_spec(5, TIER1_SEED)
+    assert run_spec(spec) == run_spec(spec)
+
+
+def test_default_budget_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FUZZ_BUDGET", raising=False)
+    assert default_budget() == 200
+    monkeypatch.setenv("REPRO_FUZZ_BUDGET", "5000")
+    assert default_budget() == 5000
+    monkeypatch.setenv("REPRO_FUZZ_BUDGET", "zero")
+    with pytest.raises(ValueError):
+        default_budget()
+    monkeypatch.setenv("REPRO_FUZZ_BUDGET", "0")
+    with pytest.raises(ValueError):
+        default_budget()
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_FUZZ_BUDGET"),
+    reason="deep fuzz only runs with REPRO_FUZZ_BUDGET set (nightly CI)",
+)
+def test_deep_fuzz_budget(tmp_path):
+    """The nightly campaign: REPRO_FUZZ_BUDGET scenarios, parallel workers."""
+    summary = run_fuzz(
+        default_budget(),
+        seed=TIER1_SEED + 1,
+        artifact_dir=os.environ.get("REPRO_FUZZ_ARTIFACTS", tmp_path),
+    )
+    assert summary["n_divergent"] == 0, summary["first_divergence"]

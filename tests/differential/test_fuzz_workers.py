@@ -1,0 +1,41 @@
+"""Worker-count invariance of the fuzz campaign.
+
+Scenario *i* is a pure function of ``(master_seed, i)`` and reports merge
+in index order, so the full campaign report — hashed into ``digest`` —
+must be byte-identical whether it ran inline or across a pool.  This is
+the same determinism rule the simulation sweeps pin in
+``tests/sim/test_parallel.py``, applied to the differential harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.oracle.fuzz import run_fuzz
+
+
+@pytest.mark.slow
+def test_digest_identical_across_worker_counts():
+    serial = run_fuzz(24, seed=99, n_workers=1, shrink=False)
+    pooled = run_fuzz(24, seed=99, n_workers=4, shrink=False)
+    assert serial["n_divergent"] == 0
+    assert serial["digest"] == pooled["digest"]
+    assert serial["n_checks"] == pooled["n_checks"]
+
+
+def test_workers_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+    summary = run_fuzz(3, seed=42, shrink=False)
+    assert summary["n_workers"] == 1
+    monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
+    with pytest.raises(ValueError):
+        run_fuzz(3, seed=42)
+    monkeypatch.setenv("REPRO_WORKERS", "0")
+    with pytest.raises(ValueError):
+        run_fuzz(3, seed=42)
+
+
+def test_worker_count_clamped_to_scenarios(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "8")
+    summary = run_fuzz(2, seed=7, shrink=False)
+    assert summary["n_workers"] == 2

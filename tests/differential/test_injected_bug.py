@@ -1,0 +1,114 @@
+"""End-to-end sensitivity check: an injected kernel bug must be caught.
+
+A differential harness that never fires is indistinguishable from one
+that cannot fire.  These tests mutate a production kernel (the match tie
+tolerance), assert the fuzzer reports a divergence with a shrunk,
+replayable artifact, then restore the kernel and assert the same
+campaign runs clean again.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.geometry.faces import FaceMap
+from repro.oracle.fuzz import replay_divergence, run_fuzz
+
+CAMPAIGN = dict(seed=3, n_workers=1)
+N_SCENARIOS = 60
+
+
+@pytest.fixture
+def inflated_tie_tolerance(monkeypatch):
+    """Mutate the kernel: admit faces 0.75 beyond the honest tie threshold."""
+    original = FaceMap.tie_tolerance
+    monkeypatch.setattr(
+        FaceMap, "tie_tolerance", lambda self, best: original(self, best) + 0.75
+    )
+
+
+def test_injected_bug_is_caught_and_artifact_replayable(
+    inflated_tie_tolerance, tmp_path
+):
+    summary = run_fuzz(N_SCENARIOS, artifact_dir=tmp_path, **CAMPAIGN)
+    assert summary["n_divergent"] > 0
+    first = summary["first_divergence"]
+    assert first is not None
+    assert first["check"] in ("match_winner", "batched_match", "tracker_anchor")
+
+    artifact_path = tmp_path / f"divergence_seed{CAMPAIGN['seed']}_idx{first['index']}.json"
+    assert str(artifact_path) == first["artifact"]
+    artifact = json.loads(artifact_path.read_text())
+    assert artifact["check"] == first["check"]
+    assert artifact["spec"] == first["spec"]
+    assert artifact["divergence"]["check"] == first["check"]
+
+    # one-command repro: the artifact reproduces while the bug is in place
+    replay = replay_divergence(artifact_path)
+    assert replay["reproduced"]
+    assert replay["recorded_check"] == first["check"]
+
+
+def test_shrinking_minimizes_the_failing_spec(inflated_tie_tolerance, tmp_path):
+    raw = run_fuzz(N_SCENARIOS, artifact_dir=tmp_path, shrink=False, **CAMPAIGN)
+    shrunk = run_fuzz(N_SCENARIOS, artifact_dir=tmp_path, shrink=True, **CAMPAIGN)
+    assert raw["first_divergence"]["index"] == shrunk["first_divergence"]["index"]
+
+    def size(spec: dict) -> tuple:
+        return (
+            spec["n_nodes"],
+            spec["n_rounds"],
+            spec["k"],
+            spec["value_fault"] is not None,
+            spec["dropout_p"] > 0,
+            spec["sample_loss_p"] > 0,
+            spec["degradation"],
+        )
+
+    # never larger than the raw spec, in every shrink dimension
+    assert all(
+        s <= r
+        for s, r in zip(
+            size(shrunk["first_divergence"]["spec"]),
+            size(raw["first_divergence"]["spec"]),
+        )
+    )
+
+
+def test_campaign_is_clean_after_the_bug_is_removed(tmp_path):
+    """Same campaign, honest kernel: zero divergences, no artifacts."""
+    summary = run_fuzz(N_SCENARIOS, artifact_dir=tmp_path, **CAMPAIGN)
+    assert summary["n_divergent"] == 0
+    assert not list(tmp_path.iterdir())
+
+
+def test_replayed_artifact_reports_clean_after_fix(tmp_path):
+    """An artifact recorded under the bug stops reproducing once fixed."""
+    original = FaceMap.tie_tolerance
+    FaceMap.tie_tolerance = lambda self, best: original(self, best) + 0.75
+    try:
+        summary = run_fuzz(N_SCENARIOS, artifact_dir=tmp_path, **CAMPAIGN)
+        artifact = summary["first_divergence"]["artifact"]
+    finally:
+        FaceMap.tie_tolerance = original
+    replay = replay_divergence(artifact)
+    assert not replay["reproduced"]
+    assert replay["report"]["divergences"] == []
+
+
+def test_vector_kernel_bug_is_caught(monkeypatch, tmp_path):
+    """A second, independent mutation: break the Eq. 6 fill direction."""
+    import repro.core.vectors as vectors
+
+    original = vectors._fault_fill
+
+    def flipped(values, rss, i_idx, j_idx, n_valid):
+        return -original(values, rss, i_idx, j_idx, n_valid)
+
+    monkeypatch.setattr(vectors, "_fault_fill", flipped)
+    summary = run_fuzz(N_SCENARIOS, artifact_dir=tmp_path, **CAMPAIGN)
+    assert summary["n_divergent"] > 0
+    assert summary["first_divergence"]["check"] == "sampling_vector"

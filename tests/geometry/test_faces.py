@@ -224,7 +224,9 @@ class TestTieTolerance:
         assert fm.tie_tolerance(best) > 1e-6
 
     def test_small_distances_keep_legacy_threshold(self, face_map):
-        assert face_map.tie_tolerance(0.0) == 1e-6
+        # an exact match (best == 0) has infinite Def. 7 similarity:
+        # nothing at any positive distance can tie with it
+        assert face_map.tie_tolerance(0.0) == 0.0
         assert face_map.tie_tolerance(1.0) == 1e-6
 
     def test_exact_match_unaffected(self, face_map):

@@ -80,6 +80,55 @@ def test_larger_deadband_never_creates_ordinal_pairs(rss, eps):
     assert np.all(np.abs(v0[ordinal_after]) == 1.0)
 
 
+@given(rss_matrices, st.data())
+@settings(max_examples=60, deadline=None)
+def test_eq7_mask_then_diff_equals_diff_then_mask(rss, data):
+    """The Eq. 7 masked distance commutes with the masking order.
+
+    Zeroing the difference at ``*`` components after subtracting must give
+    exactly what compressing the masked components out before subtracting
+    gives.  Basic pair values are small integers, so both orders sum the
+    same exact terms and the equality is bitwise.
+    """
+    n = rss.shape[1]
+    silent = data.draw(st.lists(st.booleans(), min_size=n, max_size=n), label="silent")
+    rss = rss.copy()
+    rss[:, np.asarray(silent, dtype=bool)] = np.nan
+    v = sampling_vector(rss)
+    sig_values = data.draw(
+        st.lists(
+            st.sampled_from([-1.0, 0.0, 1.0]), min_size=len(v), max_size=len(v)
+        ),
+        label="signature",
+    )
+    sig = np.asarray(sig_values)
+    mask = np.isnan(v)
+    diff_then_mask = sig - v
+    diff_then_mask[mask] = 0.0
+    d2_after = float(np.dot(diff_then_mask, diff_then_mask))
+    kept = ~mask
+    pre = sig[kept] - v[kept]
+    d2_before = float(np.dot(pre, pre))
+    assert d2_after == d2_before
+
+
+@given(rss_matrices, st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_pair_index_permutation_invariance(rss, perm_seed):
+    """Reordering the pair enumeration permutes the vector, nothing more."""
+    from repro.geometry.primitives import enumerate_pairs
+
+    n = rss.shape[1]
+    i_idx, j_idx = enumerate_pairs(n)
+    perm = np.random.default_rng(perm_seed).permutation(len(i_idx))
+    direct = sampling_vector(rss, (i_idx[perm], j_idx[perm]))
+    permuted = sampling_vector(rss)[perm]
+    assert np.array_equal(direct, permuted, equal_nan=True)
+    direct_ext = extended_sampling_vector(rss, (i_idx[perm], j_idx[perm]))
+    permuted_ext = extended_sampling_vector(rss)[perm]
+    assert np.array_equal(direct_ext, permuted_ext, equal_nan=True)
+
+
 @given(
     hnp.arrays(
         dtype=np.float64,

@@ -32,6 +32,8 @@ class TestParser:
             "report",
             "run",
             "faultlab",
+            "fuzz",
+            "replay-divergence",
         } <= names
 
 
@@ -130,6 +132,73 @@ class TestFaultlab:
             main(["faultlab", "--families", "gremlins", "--out", str(tmp_path)]) == 2
         )
         assert "unknown fault family" in capsys.readouterr().out
+
+
+class TestFuzz:
+    def test_fuzz_clean_campaign(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--scenarios",
+                    "8",
+                    "--seed",
+                    "5",
+                    "--workers",
+                    "1",
+                    "--out",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "no divergences" in out
+        assert "digest:" in out
+        assert not list(tmp_path.iterdir())
+
+    def test_fuzz_reports_divergence_and_replay_round_trips(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.geometry.faces import FaceMap
+
+        original = FaceMap.tie_tolerance
+        monkeypatch.setattr(
+            FaceMap, "tie_tolerance", lambda self, best: original(self, best) + 0.75
+        )
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--scenarios",
+                    "30",
+                    "--seed",
+                    "3",
+                    "--workers",
+                    "1",
+                    "--out",
+                    str(tmp_path),
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "DIVERGENCE" in out
+        assert "replay with:" in out
+        artifacts = list(tmp_path.iterdir())
+        assert len(artifacts) == 1
+        # replaying while the bug is still in place reproduces it (exit 1)
+        assert main(["replay-divergence", str(artifacts[0])]) == 1
+        assert "reproduced" in capsys.readouterr().out
+        monkeypatch.setattr(FaceMap, "tie_tolerance", original)
+        # after the fix, the same artifact reports clean (exit 0)
+        assert main(["replay-divergence", str(artifacts[0])]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_fuzz_respects_budget_env(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FUZZ_BUDGET", "4")
+        assert main(["fuzz", "--seed", "1", "--workers", "1"]) == 0
+        assert "4 scenarios" in capsys.readouterr().out
 
 
 class TestReport:
