@@ -146,6 +146,8 @@ def run_campaign(
     out_dir: "str | os.PathLike | None" = None,
     n_workers: "int | None" = None,
     cache_dir: "str | os.PathLike | None" = None,
+    share_maps: bool = True,
+    chunksize: "int | None" = None,
 ) -> CampaignResult:
     """Sweep fault type × intensity and emit robustness curves.
 
@@ -162,6 +164,11 @@ def run_campaign(
         :func:`parallel_sweep`; all cells share the same base seed.
     out_dir : when given, writes ``robustness.csv`` and the sweep's
         ``metrics.json`` + ``trace.jsonl`` there.
+    share_maps : default True — every cell shares the same worlds
+        (``seed_stride=0``), so the campaign prebuilds the ``n_reps``
+        face maps once and pool workers attach them zero-copy via shared
+        memory instead of rebuilding per task.  Bit-identical either way.
+    chunksize : task chunking for the pool (see :func:`parallel_sweep`).
     """
     if families is None:
         families = tuple(FAULT_FAMILIES)
@@ -187,6 +194,8 @@ def run_campaign(
         cache_dir=cache_dir,
         faults=faults,
         obs_dir=out_dir,
+        share_maps=share_maps,
+        chunksize=chunksize,
     )
     csv_path = metrics_path = None
     if out_dir is not None:

@@ -29,7 +29,6 @@ between cache users.  Disable entirely with ``REPRO_FACE_CACHE=0``.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import os
 import struct
@@ -41,6 +40,7 @@ import numpy as np
 
 from repro.geometry.faces import FaceMap, build_certain_face_map, build_face_map
 from repro.geometry.grid import Grid
+from repro.geometry.packing import PackedSignatures
 from repro.obs import metrics as obs
 
 __all__ = [
@@ -101,6 +101,15 @@ _ARRAY_FIELDS = (
     "adj_indices",
 )
 
+#: Arrays common to every on-disk format (signatures are format-specific).
+_COMMON_FIELDS = tuple(name for name in _ARRAY_FIELDS if name != "signatures")
+
+#: On-disk ``.npz`` layout version.  v1 (PR 1, no ``format`` key) stored the
+#: dense int8 signature matrix; v2 stores the 2-bit packed form (~4x
+#: smaller files).  v1 entries still load and are transparently rewritten
+#: as v2 on first touch.
+_DISK_FORMAT = 2
+
 
 class FaceMapCache:
     """LRU of built face maps, optionally backed by an ``.npz`` directory.
@@ -122,7 +131,9 @@ class FaceMapCache:
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.shm_hits = 0
         self.evictions = 0
+        self.migrations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -133,7 +144,9 @@ class FaceMapCache:
             "hits": self.hits,
             "misses": self.misses,
             "disk_hits": self.disk_hits,
+            "shm_hits": self.shm_hits,
             "evictions": self.evictions,
+            "migrations": self.migrations,
         }
 
     def clear(self) -> None:
@@ -145,7 +158,7 @@ class FaceMapCache:
     def _view(fm: FaceMap) -> FaceMap:
         """Fresh FaceMap sharing arrays but owning its soft-signature slot."""
         fm._sig_f32()  # materialize the shared float32 matrix once
-        return dataclasses.replace(fm, soft_signatures=None)
+        return fm.view()
 
     # -- disk tier ---------------------------------------------------------
 
@@ -159,7 +172,11 @@ class FaceMapCache:
         if path is None:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
-        arrays = {name: getattr(fm, name) for name in _ARRAY_FIELDS}
+        packed = fm.packed_store()
+        arrays = {name: getattr(fm, name) for name in _COMMON_FIELDS}
+        arrays["signatures_packed"] = packed.data
+        arrays["n_pairs"] = np.array([packed.n_pairs], dtype=np.int64)
+        arrays["format"] = np.array([_DISK_FORMAT], dtype=np.int64)
         arrays["grid_spec"] = np.array([fm.grid.width, fm.grid.height, fm.grid.cell_size])
         arrays["c"] = np.array([fm.c])
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".npz.tmp")
@@ -180,13 +197,36 @@ class FaceMapCache:
             with np.load(path) as data:
                 grid_spec = data["grid_spec"]
                 grid = Grid(float(grid_spec[0]), float(grid_spec[1]), float(grid_spec[2]))
-                return FaceMap(
+                common = {name: data[name] for name in _COMMON_FIELDS}
+                if "format" in data.files:
+                    version = int(data["format"][0])
+                    if version != _DISK_FORMAT:
+                        return None  # future format: treat as a miss
+                    fm = FaceMap(
+                        grid=grid,
+                        c=float(data["c"][0]),
+                        signatures=None,
+                        packed=PackedSignatures(data["signatures_packed"], int(data["n_pairs"][0])),
+                        **common,
+                    )
+                    return fm
+                # v1 (PR 1): dense signatures, no format marker
+                fm = FaceMap(
                     grid=grid,
                     c=float(data["c"][0]),
-                    **{name: data[name] for name in _ARRAY_FIELDS},
+                    signatures=data["signatures"],
+                    **common,
                 )
         except (OSError, KeyError, ValueError):
             return None  # truncated/foreign file: treat as a miss and rebuild
+        # transparent migration: rewrite the legacy entry packed (atomic, so
+        # a concurrent reader sees either the old or the new valid file)
+        try:
+            self._disk_store(key, fm)
+            self.migrations += 1
+        except OSError:  # pragma: no cover - read-only cache dir
+            pass
+        return fm
 
     # -- main entry --------------------------------------------------------
 
@@ -200,12 +240,17 @@ class FaceMapCache:
         split_components: bool = False,
         kind: str = "uncertain",
         chunk_pairs: int = 256,
+        workers: "int | None" = None,
+        tile_cells: "int | None" = None,
+        packed: bool = False,
     ) -> FaceMap:
         """Return the face map for these inputs, building at most once.
 
         ``kind="uncertain"`` routes to :func:`build_face_map`,
         ``kind="certain"`` to :func:`build_certain_face_map` (which takes
         no ``c`` / ``sensing_range``; pass ``c=1.0`` for a stable key).
+        ``workers``/``tile_cells``/``packed`` only shape *how* a miss is
+        built (bit-identically), so they are not part of the key.
         """
         key = face_map_cache_key(
             nodes, grid, c, sensing_range=sensing_range, split_components=split_components, kind=kind
@@ -218,6 +263,16 @@ class FaceMapCache:
             if record:
                 obs.counter("geometry.cache.hits").inc()
             return self._view(fm)
+        # zero-copy tier: a map published into shared memory by the sweep
+        # parent (repro.geometry.shm); views attach instead of rebuilding
+        from repro.geometry.shm import shared_face_map
+
+        shared = shared_face_map(key)
+        if shared is not None:
+            self.shm_hits += 1
+            if record:
+                obs.counter("geometry.cache.shm_hits").inc()
+            return shared
         fm = self._disk_load(key)
         if fm is not None:
             self.disk_hits += 1
@@ -235,10 +290,19 @@ class FaceMapCache:
                     sensing_range=sensing_range,
                     split_components=split_components,
                     chunk_pairs=chunk_pairs,
+                    workers=workers,
+                    tile_cells=tile_cells,
+                    packed=packed,
                 )
             else:
                 fm = build_certain_face_map(
-                    nodes, grid, split_components=split_components, chunk_pairs=chunk_pairs
+                    nodes,
+                    grid,
+                    split_components=split_components,
+                    chunk_pairs=chunk_pairs,
+                    workers=workers,
+                    tile_cells=tile_cells,
+                    packed=packed,
                 )
             self._disk_store(key, fm)
         if self.maxsize > 0:
@@ -317,20 +381,38 @@ def get_face_map(
     sensing_range: "float | None" = None,
     split_components: bool = False,
     kind: str = "uncertain",
+    workers: "int | None" = None,
+    tile_cells: "int | None" = None,
+    packed: bool = False,
 ) -> FaceMap:
     """Cache-aware face-map constructor (the :class:`Scenario` entry point).
 
     Bit-identical to calling :func:`build_face_map` /
     :func:`build_certain_face_map` directly; with the cache disabled it
-    *is* that call.
+    *is* that call.  ``workers``/``tile_cells``/``packed`` route a cache
+    miss through the tiled builder (see :func:`build_face_map`).
     """
     if not face_map_cache_enabled():
         if kind == "uncertain":
             return build_face_map(
-                nodes, grid, c, sensing_range=sensing_range, split_components=split_components
+                nodes,
+                grid,
+                c,
+                sensing_range=sensing_range,
+                split_components=split_components,
+                workers=workers,
+                tile_cells=tile_cells,
+                packed=packed,
             )
         if kind == "certain":
-            return build_certain_face_map(nodes, grid, split_components=split_components)
+            return build_certain_face_map(
+                nodes,
+                grid,
+                split_components=split_components,
+                workers=workers,
+                tile_cells=tile_cells,
+                packed=packed,
+            )
         raise ValueError(f"unknown face-map kind {kind!r}")
     return default_face_map_cache().get_or_build(
         nodes,
@@ -339,4 +421,7 @@ def get_face_map(
         sensing_range=sensing_range,
         split_components=split_components,
         kind=kind,
+        workers=workers,
+        tile_cells=tile_cells,
+        packed=packed,
     )

@@ -9,7 +9,8 @@ instead of scanning all O(n^4) faces (Theorem 1, Algorithm 2).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -17,10 +18,33 @@ from repro.geometry.apollonius import classify_points_pairwise
 from repro.geometry.bisector import certain_signatures
 from repro.geometry.components import label_equal_regions
 from repro.geometry.grid import Grid
+from repro.geometry.packing import PackedSignatures
 from repro.geometry.primitives import enumerate_pairs
 from repro.obs import metrics as obs
 
 __all__ = ["Face", "FaceMap", "build_face_map", "build_certain_face_map"]
+
+#: Bound on the float32 temporaries one `distances_to_many` GEMM block may
+#: allocate; the default ``chunk_rows`` keeps each block under this.
+_GEMM_TEMP_BYTES = 256 * 1024 * 1024
+
+
+def _resolve_build_workers(workers: "int | None") -> int:
+    """Build parallelism: explicit argument, else ``REPRO_BUILD_WORKERS``, else 1."""
+    if workers is None:
+        env = os.environ.get("REPRO_BUILD_WORKERS")
+        if env is None or env == "":
+            return 1
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_BUILD_WORKERS must be an integer, got {env!r}"
+            ) from None
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
 
 
 @dataclass(frozen=True)
@@ -44,7 +68,6 @@ class Face:
         return self.n_uncertain_pairs == 0
 
 
-@dataclass
 class FaceMap:
     """The complete division of the field plus matching accelerators.
 
@@ -53,26 +76,121 @@ class FaceMap:
     nodes : (n, 2) sensor positions.
     grid : the raster used for the approximate division.
     c : uncertainty constant used for the boundaries (1.0 = certain/bisector map).
-    signatures : (F, P) int8 — one signature vector per face.
+    signatures : (F, P) int8 — one signature vector per face.  May be backed
+        lazily by ``packed`` (2 bits per pair) and unpacked on first access.
     centroids : (F, 2) face centroids.
     cell_face : (M,) face id of every grid cell.
     cell_counts : (F,) number of cells per face.
     adjacency : CSR-style neighbor-face links (``adj_indptr``/``adj_indices``).
+    packed : optional :class:`~repro.geometry.packing.PackedSignatures`
+        holding the same signatures at 2 bits per pair.
     """
 
-    nodes: np.ndarray
-    grid: Grid
-    c: float
-    signatures: np.ndarray
-    centroids: np.ndarray
-    cell_face: np.ndarray
-    cell_counts: np.ndarray
-    adj_indptr: np.ndarray
-    adj_indices: np.ndarray
-    soft_signatures: np.ndarray | None = field(default=None, repr=False)
-    _signatures_f32: np.ndarray | None = field(default=None, repr=False)
-    _qual_sq_rows: np.ndarray | None = field(default=None, repr=False)
-    _qual_sq_t: np.ndarray | None = field(default=None, repr=False)
+    _FIELDS = (
+        "nodes",
+        "grid",
+        "c",
+        "signatures",
+        "centroids",
+        "cell_face",
+        "cell_counts",
+        "adj_indptr",
+        "adj_indices",
+        "soft_signatures",
+        "packed",
+    )
+
+    def __init__(
+        self,
+        nodes: np.ndarray,
+        grid: Grid,
+        c: float,
+        signatures: np.ndarray | None,
+        centroids: np.ndarray,
+        cell_face: np.ndarray,
+        cell_counts: np.ndarray,
+        adj_indptr: np.ndarray,
+        adj_indices: np.ndarray,
+        soft_signatures: np.ndarray | None = None,
+        packed: PackedSignatures | None = None,
+    ) -> None:
+        if signatures is None and packed is None:
+            raise ValueError("FaceMap needs dense signatures, packed signatures, or both")
+        if (
+            signatures is not None
+            and packed is not None
+            and (packed.n_pairs != signatures.shape[1] or packed.n_rows != signatures.shape[0])
+        ):
+            raise ValueError(
+                f"dense {signatures.shape} and packed ({packed.n_rows}, {packed.n_pairs}) "
+                "signature shapes disagree"
+            )
+        self.nodes = nodes
+        self.grid = grid
+        self.c = c
+        self._signatures = signatures
+        self.packed = packed
+        self.centroids = centroids
+        self.cell_face = cell_face
+        self.cell_counts = cell_counts
+        self.adj_indptr = adj_indptr
+        self.adj_indices = adj_indices
+        self.soft_signatures = soft_signatures
+        self._signatures_f32: np.ndarray | None = None
+        self._qual_sq_rows: np.ndarray | None = None
+        self._qual_sq_t: np.ndarray | None = None
+        if signatures is not None:
+            self._n_faces, self._n_pairs = signatures.shape
+        else:
+            self._n_faces, self._n_pairs = packed.n_rows, packed.n_pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        backing = "packed" if (self._signatures is None and self.packed is not None) else "dense"
+        return (
+            f"FaceMap(n_nodes={self.n_nodes}, n_faces={self.n_faces}, "
+            f"n_pairs={self.n_pairs}, c={self.c}, storage={backing})"
+        )
+
+    @property
+    def signatures(self) -> np.ndarray:
+        """(F, P) int8 face signatures, unpacked (and cached) on demand."""
+        if self._signatures is None:
+            self._signatures = self.packed.dense()
+        return self._signatures
+
+    def packed_store(self) -> PackedSignatures:
+        """The 2-bit packed signature store, packing (and caching) on demand."""
+        if self.packed is None:
+            self.packed = PackedSignatures.from_dense(self._signatures)
+        return self.packed
+
+    @property
+    def signature_storage_nbytes(self) -> int:
+        """Resident bytes currently held by the signature store (dense + packed)."""
+        total = 0
+        if self._signatures is not None:
+            total += int(self._signatures.nbytes)
+        if self.packed is not None:
+            total += self.packed.nbytes
+        return total
+
+    def view(self) -> "FaceMap":
+        """A shallow copy sharing every (never-mutated) array but owning its
+        own ``soft_signatures`` slot, so callers can attach soft signatures
+        without leaking them into other holders of the same map."""
+        clone = FaceMap.__new__(FaceMap)
+        clone.__dict__.update(self.__dict__)
+        clone.soft_signatures = None
+        return clone
+
+    def replace(self, **changes: object) -> "FaceMap":
+        """A new ``FaceMap`` with *changes* applied (dataclasses.replace spirit)."""
+        kwargs = {name: getattr(self, name) for name in self._FIELDS if name != "signatures"}
+        kwargs["signatures"] = self._signatures
+        if "signatures" in changes and "packed" not in changes:
+            kwargs["packed"] = None
+        kwargs.update(changes)
+        return FaceMap(**kwargs)
 
     # -- basic queries ----------------------------------------------------
 
@@ -82,11 +200,11 @@ class FaceMap:
 
     @property
     def n_pairs(self) -> int:
-        return self.signatures.shape[1]
+        return self._n_pairs
 
     @property
     def n_faces(self) -> int:
-        return self.signatures.shape[0]
+        return self._n_faces
 
     def face(self, face_id: int) -> Face:
         if not (0 <= face_id < self.n_faces):
@@ -125,7 +243,11 @@ class FaceMap:
 
     def _sig_f32(self) -> np.ndarray:
         if self._signatures_f32 is None:
-            self._signatures_f32 = self.signatures.astype(np.float32)
+            if self._signatures is not None:
+                self._signatures_f32 = self._signatures.astype(np.float32)
+            else:
+                # decode straight to float32 — skip the dense int8 intermediate
+                self._signatures_f32 = self.packed.dense(dtype=np.float32)
         return self._signatures_f32
 
     def signature_matrix(self, *, soft: bool = False) -> np.ndarray:
@@ -164,7 +286,19 @@ class FaceMap:
             self._qual_sq_t = np.ascontiguousarray(sq.T)
         return self._qual_sq_rows, self._qual_sq_t
 
-    def distances_to_many(self, vectors: np.ndarray, *, soft: bool = False) -> np.ndarray:
+    def _resolve_chunk_rows(self, chunk_rows: int | None) -> int:
+        """Trace-axis block size; the default bounds one block's (B, F)
+        float32 temporaries by ``_GEMM_TEMP_BYTES``."""
+        if chunk_rows is None:
+            return max(1, _GEMM_TEMP_BYTES // (4 * max(1, self.n_faces)))
+        chunk_rows = int(chunk_rows)
+        if chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        return chunk_rows
+
+    def distances_to_many(
+        self, vectors: np.ndarray, *, soft: bool = False, chunk_rows: int | None = None
+    ) -> np.ndarray:
         """Squared vector distance from each of ``(B, P)`` *vectors* to every face.
 
         Bit-identical to calling :meth:`distances_to` per row.  When the
@@ -178,10 +312,24 @@ class FaceMap:
         subtracting the masked signature energy, again exactly.  Rows with
         fractional components (extended vectors, soft signatures) fall
         back to the per-row path to preserve bit-identity.
+
+        The batch is processed in blocks of ``chunk_rows`` traces so peak
+        temporary allocation stays bounded however large B grows; because
+        both the GEMM expansion and the per-row path are exact per row,
+        the block size cannot change a single output bit.
         """
         V = np.asarray(vectors, dtype=np.float32)
         if V.ndim != 2 or V.shape[1] != self.n_pairs:
             raise ValueError(f"vectors have shape {V.shape}, expected (B, {self.n_pairs})")
+        step = self._resolve_chunk_rows(chunk_rows)
+        if len(V) > step:
+            out = np.empty((len(V), self.n_faces), dtype=np.float32)
+            for start in range(0, len(V), step):
+                out[start : start + step] = self._distances_block(V[start : start + step], soft)
+            return out
+        return self._distances_block(V, soft)
+
+    def _distances_block(self, V: np.ndarray, soft: bool) -> np.ndarray:
         mask = np.isnan(V)
         v0 = np.where(mask, np.float32(0.0), V)
         exact = (
@@ -240,21 +388,27 @@ class FaceMap:
         return ties, best
 
     def match_many(
-        self, vectors: np.ndarray, *, soft: bool = False
+        self, vectors: np.ndarray, *, soft: bool = False, chunk_rows: int | None = None
     ) -> tuple[list[np.ndarray], np.ndarray]:
         """Batched :meth:`match` over ``(B, P)`` *vectors*.
 
         Returns ``(ties_per_row, best_sq_distances)`` — identical, row for
         row, to calling :meth:`match` in a loop (see
-        :meth:`distances_to_many` for why).
+        :meth:`distances_to_many` for why).  Processed in ``chunk_rows``
+        blocks so only one (chunk, F) distance block is live at a time.
         """
-        d2 = self.distances_to_many(vectors, soft=soft)
+        V = np.asarray(vectors, dtype=np.float32)
+        if V.ndim != 2 or V.shape[1] != self.n_pairs:
+            raise ValueError(f"vectors have shape {V.shape}, expected (B, {self.n_pairs})")
+        step = self._resolve_chunk_rows(chunk_rows)
         ties: list[np.ndarray] = []
-        bests = np.empty(len(d2), dtype=float)
-        for b, row in enumerate(d2):
-            best = float(row.min())
-            ties.append(np.flatnonzero(row <= best + self.tie_tolerance(best)))
-            bests[b] = best
+        bests = np.empty(len(V), dtype=float)
+        for start in range(0, len(V), step):
+            d2 = self.distances_to_many(V[start : start + step], soft=soft, chunk_rows=step)
+            for b, row in enumerate(d2, start=start):
+                best = float(row.min())
+                ties.append(np.flatnonzero(row <= best + self.tie_tolerance(best)))
+                bests[b] = best
         if obs.enabled():
             obs.counter("geometry.match.rounds").inc(len(ties))
             obs.counter("geometry.match.batched_rounds").inc(len(ties))
@@ -316,10 +470,20 @@ def _unique_rows(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 
 
 def _faces_from_signatures(
-    cell_sigs: np.ndarray, grid: Grid, split_components: bool
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Group cells into faces; returns (signatures, centroids, cell_face, counts)."""
-    unique_sigs, sig_ids = _unique_rows(cell_sigs)
+    cell_sigs: np.ndarray | PackedSignatures, grid: Grid, split_components: bool
+) -> tuple[np.ndarray | PackedSignatures, np.ndarray, np.ndarray, np.ndarray]:
+    """Group cells into faces; returns (signatures, centroids, cell_face, counts).
+
+    *cell_sigs* may be a dense ``(M, P)`` int8 matrix or a
+    :class:`PackedSignatures` over the cells.  The packed encoding is
+    order-preserving under the void-view memcmp (see
+    ``repro.geometry.packing``), so grouping by unique packed rows yields
+    the same face ids, in the same order, as grouping by dense rows —
+    and the matching per-face store is returned in the same form.
+    """
+    is_packed = isinstance(cell_sigs, PackedSignatures)
+    rows = cell_sigs.data if is_packed else cell_sigs
+    unique_rows, sig_ids = _unique_rows(rows)
     if split_components:
         a, b = grid.neighbor_pairs()
         face_ids = label_equal_regions(sig_ids, a, b)
@@ -334,17 +498,50 @@ def _faces_from_signatures(
         seen[uniq] = True
         if not seen.all():
             raise AssertionError("face labelling produced unused labels")
-        signatures = cell_sigs[first_cell]
+        face_rows = rows[first_cell]
     else:
         face_ids = sig_ids
-        n_faces = len(unique_sigs)
-        signatures = unique_sigs
+        n_faces = len(unique_rows)
+        face_rows = unique_rows
     counts = np.bincount(face_ids, minlength=n_faces).astype(np.int64)
     centers = grid.cell_centers
     cx = np.bincount(face_ids, weights=centers[:, 0], minlength=n_faces)
     cy = np.bincount(face_ids, weights=centers[:, 1], minlength=n_faces)
     centroids = np.column_stack([cx, cy]) / counts[:, None]
-    return signatures.astype(np.int8), centroids, face_ids.astype(np.int64), counts
+    if is_packed:
+        signatures: np.ndarray | PackedSignatures = PackedSignatures(
+            np.ascontiguousarray(face_rows), cell_sigs.n_pairs
+        )
+    else:
+        signatures = face_rows.astype(np.int8)
+    return signatures, centroids, face_ids.astype(np.int64), counts
+
+
+def _assemble_face_map(
+    nodes: np.ndarray,
+    grid: Grid,
+    c: float,
+    cell_sigs: np.ndarray | PackedSignatures,
+    split_components: bool,
+) -> FaceMap:
+    signatures, centroids, cell_face, counts = _faces_from_signatures(cell_sigs, grid, split_components)
+    if isinstance(signatures, PackedSignatures):
+        n_faces, dense, packed = signatures.n_rows, None, signatures
+    else:
+        n_faces, dense, packed = len(signatures), signatures, None
+    indptr, indices = _build_adjacency(cell_face, grid, n_faces)
+    return FaceMap(
+        nodes=nodes,
+        grid=grid,
+        c=c,
+        signatures=dense,
+        centroids=centroids,
+        cell_face=cell_face,
+        cell_counts=counts,
+        adj_indptr=indptr,
+        adj_indices=indices,
+        packed=packed,
+    )
 
 
 def build_face_map(
@@ -355,6 +552,9 @@ def build_face_map(
     sensing_range: float | None = None,
     split_components: bool = False,
     chunk_pairs: int = 256,
+    workers: int | None = None,
+    tile_cells: int | None = None,
+    packed: bool = False,
 ) -> FaceMap:
     """Divide the field by all pairwise uncertain boundaries (Definition 2).
 
@@ -371,27 +571,41 @@ def build_face_map(
         connected (strict face semantics).  Off by default — matching
         semantics are identical and the paper's own evaluation groups by
         signature.
+    workers : classify grid tiles in this many worker processes, writing
+        into one shared output buffer (default 1, or
+        ``REPRO_BUILD_WORKERS``).  Bit-identical to the serial build for
+        any worker count — classification is elementwise per cell.
+    tile_cells : cells per tile for the tiled classification path
+        (default: chosen automatically).  Forces the tiled path even at
+        ``workers=1``.
+    packed : store cell/face signatures 2-bit packed (4 pair values per
+        byte, ~4x smaller).  The resulting map unpacks lazily on dense
+        access and matches the dense build bit for bit.
     """
     nodes = np.atleast_2d(np.asarray(nodes, dtype=float))
     if len(nodes) < 2:
         raise ValueError(f"need at least two nodes, got {len(nodes)}")
-    pairs = enumerate_pairs(len(nodes))
-    cell_sigs = classify_points_pairwise(
-        grid.cell_centers, nodes, c, pairs, sensing_range=sensing_range, chunk_pairs=chunk_pairs
-    )
-    signatures, centroids, cell_face, counts = _faces_from_signatures(cell_sigs, grid, split_components)
-    indptr, indices = _build_adjacency(cell_face, grid, len(signatures))
-    return FaceMap(
-        nodes=nodes,
-        grid=grid,
-        c=c,
-        signatures=signatures,
-        centroids=centroids,
-        cell_face=cell_face,
-        cell_counts=counts,
-        adj_indptr=indptr,
-        adj_indices=indices,
-    )
+    workers = _resolve_build_workers(workers)
+    if workers > 1 or tile_cells is not None or packed:
+        from repro.geometry.tiling import classify_cells_tiled
+
+        cell_sigs: np.ndarray | PackedSignatures = classify_cells_tiled(
+            grid,
+            nodes,
+            c=c,
+            kind="uncertain",
+            sensing_range=sensing_range,
+            chunk_pairs=chunk_pairs,
+            workers=workers,
+            tile_cells=tile_cells,
+            packed=packed,
+        )
+    else:
+        pairs = enumerate_pairs(len(nodes))
+        cell_sigs = classify_points_pairwise(
+            grid.cell_centers, nodes, c, pairs, sensing_range=sensing_range, chunk_pairs=chunk_pairs
+        )
+    return _assemble_face_map(nodes, grid, c, cell_sigs, split_components)
 
 
 def build_certain_face_map(
@@ -400,27 +614,36 @@ def build_certain_face_map(
     *,
     split_components: bool = False,
     chunk_pairs: int = 256,
+    workers: int | None = None,
+    tile_cells: int | None = None,
+    packed: bool = False,
 ) -> FaceMap:
     """Face map of the certain-sequence baselines: bisector division only.
 
     This is the classic division of [22]/[24] — Fig. 3(a) of the paper —
     obtained in the ``C -> 1`` limit.  ``c`` is recorded as 1.0.
+    ``workers``/``tile_cells``/``packed`` behave as in
+    :func:`build_face_map`.
     """
     nodes = np.atleast_2d(np.asarray(nodes, dtype=float))
     if len(nodes) < 2:
         raise ValueError(f"need at least two nodes, got {len(nodes)}")
-    pairs = enumerate_pairs(len(nodes))
-    cell_sigs = certain_signatures(grid.cell_centers, nodes, pairs, chunk_pairs=chunk_pairs)
-    signatures, centroids, cell_face, counts = _faces_from_signatures(cell_sigs, grid, split_components)
-    indptr, indices = _build_adjacency(cell_face, grid, len(signatures))
-    return FaceMap(
-        nodes=nodes,
-        grid=grid,
-        c=1.0,
-        signatures=signatures,
-        centroids=centroids,
-        cell_face=cell_face,
-        cell_counts=counts,
-        adj_indptr=indptr,
-        adj_indices=indices,
-    )
+    workers = _resolve_build_workers(workers)
+    if workers > 1 or tile_cells is not None or packed:
+        from repro.geometry.tiling import classify_cells_tiled
+
+        cell_sigs: np.ndarray | PackedSignatures = classify_cells_tiled(
+            grid,
+            nodes,
+            c=1.0,
+            kind="certain",
+            sensing_range=None,
+            chunk_pairs=chunk_pairs,
+            workers=workers,
+            tile_cells=tile_cells,
+            packed=packed,
+        )
+    else:
+        pairs = enumerate_pairs(len(nodes))
+        cell_sigs = certain_signatures(grid.cell_centers, nodes, pairs, chunk_pairs=chunk_pairs)
+    return _assemble_face_map(nodes, grid, 1.0, cell_sigs, split_components)

@@ -1,0 +1,151 @@
+"""Bit-packed signature storage: four {-1, 0, +1} pair values per byte.
+
+A face map at n sensors carries ``C(n, 2)`` pair values per face (and per
+grid cell during the build), stored as int8 — one byte each for a
+three-valued symbol.  Packing each value into 2 bits cuts that resident
+volume 4x, which is what makes n ≈ 200 maps buildable on ordinary
+hardware and shrinks every downstream copy (LRU entries, ``.npz`` cache
+files, shared-memory segments, worker transport).
+
+The encoding is chosen so packing is **order-preserving** under the byte
+comparison ``np.unique`` applies to the void-view rows in
+:func:`repro.geometry.faces._unique_rows`:
+
+* codes are ``0 -> 0b00``, ``+1 -> 0b01``, ``-1 -> 0b11`` — monotone in
+  the *unsigned* byte order of the int8 values (``0x00 < 0x01 < 0xFF``);
+* the first pair of each 4-pair group sits in the **most significant**
+  bits, so a memcmp of packed rows ranks them exactly like a memcmp of
+  the dense int8 rows (trailing pad bits are always zero and therefore
+  neutral).
+
+Grouping cells by unique *packed* rows therefore yields the same face
+ids, in the same order, as grouping by dense rows — packed builds are
+bit-identical to dense builds, not merely equivalent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PackedSignatures", "pack_signatures", "unpack_signatures", "packed_row_bytes"]
+
+_CODE_OF = np.zeros(256, dtype=np.uint8)
+_CODE_OF[0] = 0b00
+_CODE_OF[1] = 0b01
+_CODE_OF[np.uint8(np.int8(-1))] = 0b11  # 0xFF
+
+# decode LUT: byte -> its four int8 values, MSB-first
+_DECODE = np.zeros((256, 4), dtype=np.int8)
+_VALUE_OF = np.zeros(4, dtype=np.int8)
+_VALUE_OF[0b00] = 0
+_VALUE_OF[0b01] = 1
+_VALUE_OF[0b11] = -1
+_VALUE_OF[0b10] = -2  # never produced by pack(); visible if a buffer is corrupt
+for _b in range(256):
+    _DECODE[_b] = _VALUE_OF[[(_b >> 6) & 3, (_b >> 4) & 3, (_b >> 2) & 3, _b & 3]]
+_DECODE_F32 = _DECODE.astype(np.float32)
+
+
+def packed_row_bytes(n_pairs: int) -> int:
+    """Bytes per packed signature row (4 pair values per byte, zero-padded)."""
+    if n_pairs < 0:
+        raise ValueError(f"n_pairs must be non-negative, got {n_pairs}")
+    return (n_pairs + 3) // 4
+
+
+def pack_signatures(signatures: np.ndarray) -> np.ndarray:
+    """Pack ``(F, P)`` int8 signatures in {-1, 0, +1} to ``(F, ceil(P/4))`` uint8.
+
+    MSB-first, order-preserving (see the module docstring); trailing pad
+    bits are zero so equal packed rows imply equal dense rows and vice
+    versa.
+    """
+    sig = np.ascontiguousarray(signatures, dtype=np.int8)
+    if sig.ndim != 2:
+        raise ValueError(f"expected a (F, P) signature matrix, got shape {sig.shape}")
+    n_rows, n_pairs = sig.shape
+    bad = (sig < -1) | (sig > 1)
+    if bad.any():
+        raise ValueError(
+            f"signature values must be in {{-1, 0, +1}}; found {sig[bad][0]}"
+        )
+    codes = _CODE_OF[sig.view(np.uint8)]
+    pad = (-n_pairs) % 4
+    if pad:
+        codes = np.concatenate([codes, np.zeros((n_rows, pad), dtype=np.uint8)], axis=1)
+    codes = codes.reshape(n_rows, packed_row_bytes(n_pairs), 4)
+    packed = (
+        (codes[:, :, 0] << 6) | (codes[:, :, 1] << 4) | (codes[:, :, 2] << 2) | codes[:, :, 3]
+    )
+    return np.ascontiguousarray(packed, dtype=np.uint8)
+
+
+def unpack_signatures(
+    packed: np.ndarray, n_pairs: int, *, dtype: np.dtype = np.int8
+) -> np.ndarray:
+    """Inverse of :func:`pack_signatures`: ``(F, ceil(P/4))`` uint8 -> ``(F, P)``.
+
+    ``dtype=np.float32`` decodes straight to the matching-kernel dtype
+    without materializing the dense int8 intermediate.
+    """
+    packed = np.asarray(packed, dtype=np.uint8)
+    if packed.ndim != 2:
+        raise ValueError(f"expected a (F, B) packed matrix, got shape {packed.shape}")
+    if packed.shape[1] != packed_row_bytes(n_pairs):
+        raise ValueError(
+            f"packed row has {packed.shape[1]} bytes, expected "
+            f"{packed_row_bytes(n_pairs)} for {n_pairs} pairs"
+        )
+    lut = _DECODE_F32 if np.dtype(dtype) == np.float32 else _DECODE
+    out = lut[packed].reshape(len(packed), 4 * packed.shape[1])[:, :n_pairs]
+    return np.ascontiguousarray(out)
+
+
+class PackedSignatures:
+    """A packed ``(F, P)`` qualitative signature matrix.
+
+    Thin value object around the packed buffer plus the true pair count
+    (the buffer alone cannot distinguish P from P+1..P+3 because of the
+    zero padding).
+    """
+
+    __slots__ = ("data", "n_pairs")
+
+    def __init__(self, data: np.ndarray, n_pairs: int) -> None:
+        data = np.ascontiguousarray(data, dtype=np.uint8)
+        if data.ndim != 2 or data.shape[1] != packed_row_bytes(n_pairs):
+            raise ValueError(
+                f"packed buffer shape {data.shape} inconsistent with {n_pairs} pairs"
+            )
+        self.data = data
+        self.n_pairs = int(n_pairs)
+
+    @classmethod
+    def from_dense(cls, signatures: np.ndarray) -> "PackedSignatures":
+        signatures = np.atleast_2d(np.asarray(signatures))
+        return cls(pack_signatures(signatures), signatures.shape[1])
+
+    @property
+    def n_rows(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def dense(self, *, dtype: np.dtype = np.int8) -> np.ndarray:
+        return unpack_signatures(self.data, self.n_pairs, dtype=dtype)
+
+    def rows(self, indices: np.ndarray) -> np.ndarray:
+        """Dense int8 rows for *indices* without unpacking the full matrix."""
+        return unpack_signatures(self.data[np.asarray(indices)], self.n_pairs)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PackedSignatures)
+            and self.n_pairs == other.n_pairs
+            and np.array_equal(self.data, other.data)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PackedSignatures(rows={self.n_rows}, n_pairs={self.n_pairs})"

@@ -61,6 +61,18 @@ def recommended_workers(n_tasks: int) -> int:
     return max(1, min(n_tasks, cores))
 
 
+def _pool_init_shared_maps(manifests: list[dict]) -> None:
+    """Pool initializer: register shared face-map manifests in this worker.
+
+    Installed once per worker process; every task's cache lookups then
+    resolve against the parent's published segments (zero-copy attach)
+    before falling back to disk or a rebuild.
+    """
+    from repro.geometry.shm import install_shared_face_maps
+
+    install_shared_face_maps(manifests)
+
+
 def _run_point(args: tuple) -> "tuple[list[SweepRecord], dict | None]":
     config_dict, tracker_names, n_reps, seed, params, deployment, faults = args
     grid_cfg = config_dict.pop("grid")
@@ -146,6 +158,8 @@ def parallel_sweep(
     cache_dir: "str | os.PathLike | None" = None,
     faults: "FaultModel | Sequence[FaultModel | None] | None" = None,
     obs_dir: "str | os.PathLike | None" = None,
+    share_maps: bool = False,
+    chunksize: "int | None" = None,
 ) -> list[SweepRecord]:
     """Run ``replicate_mean_error`` for every (config, params) point in a pool.
 
@@ -176,6 +190,18 @@ def parallel_sweep(
         registries of every task — plus ``trace.jsonl`` into this
         directory.  Results are bit-identical with or without it.  After
         the call the process registry holds the merged sweep metrics.
+    share_maps : prebuild the distinct face maps the tasks will need and
+        publish them into ``multiprocessing.shared_memory``
+        (:mod:`repro.geometry.shm`); pool workers attach zero-copy
+        instead of rebuilding or unpickling.  Segments are unlinked in a
+        ``finally`` (and belt-and-braces at interpreter exit), so crashes
+        and KeyboardInterrupt cannot leak ``/dev/shm`` entries.  Results
+        are bit-identical — the shared map is byte-for-byte the built
+        map.  Most effective when points revisit the same worlds
+        (``seed_stride=0`` campaigns); ignored for inline runs.
+    chunksize : tasks handed to a worker per dispatch (``pool.map``
+        chunking); the default keeps the pre-existing pool heuristic.
+        Larger chunks amortize per-dispatch IPC for many-point sweeps.
     """
     if not points:
         raise ValueError("no sweep points given")
@@ -203,12 +229,40 @@ def parallel_sweep(
         ]
         if n_workers is None:
             n_workers = recommended_workers(len(tasks))
-        if n_workers == 1:
-            nested = [_run_point(t) for t in tasks]
-        else:
-            ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
-            with ctx.Pool(processes=n_workers) as pool:
-                nested = pool.map(_run_point, tasks)
+        shared_set = None
+        initializer, initargs = None, ()
+        if share_maps and n_workers > 1:
+            from repro.geometry.shm import SharedFaceMapSet
+            from repro.sim.scenario import replication_scenarios
+
+            shared_set = SharedFaceMapSet()
+            seen_worlds: set = set()
+            for i, (cfg, _params) in enumerate(points):
+                task_seed = seed + i * seed_stride
+                world_id = (id(cfg), task_seed)
+                if world_id in seen_worlds:
+                    continue
+                seen_worlds.add(world_id)
+                for scenario in replication_scenarios(
+                    cfg, n_reps=n_reps, seed=task_seed, deployment=deployment
+                ):
+                    key = scenario.face_map_key()
+                    if key not in shared_set:
+                        # .face_map builds (or cache-loads) here, once, in
+                        # the parent; workers only ever attach
+                        shared_set.publish(key, scenario.face_map)
+            if len(shared_set):
+                initializer, initargs = _pool_init_shared_maps, (shared_set.manifests(),)
+        try:
+            if n_workers == 1:
+                nested = [_run_point(t) for t in tasks]
+            else:
+                ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+                with ctx.Pool(processes=n_workers, initializer=initializer, initargs=initargs) as pool:
+                    nested = pool.map(_run_point, tasks, chunksize=chunksize)
+        finally:
+            if shared_set is not None:
+                shared_set.close()
         records = [rec for group, _ in nested for rec in group]
         if obs_out is not None:
             merged = obs_metrics.MetricsRegistry()
@@ -223,6 +277,7 @@ def parallel_sweep(
                 "geometry.cache.hits",
                 "geometry.cache.misses",
                 "geometry.cache.disk_hits",
+                "geometry.cache.shm_hits",
                 "geometry.cache.evictions",
             ):
                 merged.counter(name)

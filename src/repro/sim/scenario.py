@@ -36,7 +36,7 @@ from repro.rf.noise import GaussianNoise
 from repro.rf.pathloss import LogDistancePathLoss
 from repro.rng import ensure_rng
 
-__all__ = ["Scenario", "make_scenario", "TRACKER_NAMES"]
+__all__ = ["Scenario", "make_scenario", "replication_scenarios", "TRACKER_NAMES"]
 
 TRACKER_NAMES = (
     "fttt",
@@ -91,6 +91,24 @@ class Scenario:
                 kind="uncertain",
             )
         return self._face_map
+
+    def face_map_key(self) -> str:
+        """Content-addressed cache key of the uncertain face map.
+
+        The same key :func:`~repro.geometry.cache.get_face_map` derives —
+        used to publish prebuilt maps into shared memory so pool workers
+        attach instead of rebuilding (see :mod:`repro.geometry.shm`).
+        """
+        from repro.geometry.cache import face_map_cache_key
+
+        return face_map_cache_key(
+            self.nodes,
+            self.grid,
+            self.uncertainty_c,
+            sensing_range=self.config.sensing_range_m,
+            split_components=self.config.grid.split_components,
+            kind="uncertain",
+        )
 
     @property
     def certain_map(self) -> FaceMap:
@@ -257,3 +275,26 @@ def make_scenario(
         mobility=mobility,
         uncertainty_c=c,
     )
+
+
+def replication_scenarios(
+    config: SimulationConfig,
+    *,
+    n_reps: int,
+    seed: int,
+    deployment: str = "random",
+) -> list[Scenario]:
+    """The exact worlds ``replicate_mean_error(config, seed=seed, ...)`` visits.
+
+    Replicates its RNG protocol — ``spawn_rngs(seed, 2 * n_reps)`` with the
+    even streams driving the scenarios — so a sweep parent can prebuild the
+    face maps its pool tasks will need and publish them into shared memory.
+    Maps are *not* built here; access ``scenario.face_map`` to build.
+    """
+    from repro.rng import spawn_rngs
+
+    rngs = spawn_rngs(seed, 2 * n_reps)
+    return [
+        make_scenario(config, deployment=deployment, seed=rngs[2 * rep])
+        for rep in range(n_reps)
+    ]

@@ -69,9 +69,7 @@ class TestFaceSeparability:
         assert sep["min_sq_distance"] >= 1.0
 
     def test_single_face_rejected(self, face_map):
-        import dataclasses
-
-        tiny = dataclasses.replace(face_map, signatures=face_map.signatures[:1])
+        tiny = face_map.replace(signatures=face_map.signatures[:1])
         with pytest.raises(ValueError):
             face_separability(tiny)
 

@@ -122,7 +122,9 @@ class TestMemoryTier:
             "hits": 0,
             "misses": 3,
             "disk_hits": 0,
+            "shm_hits": 0,
             "evictions": 2,
+            "migrations": 0,
         }
 
     def test_zero_maxsize_disables_memory_tier(self, four_nodes, small_grid):

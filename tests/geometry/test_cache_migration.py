@@ -1,0 +1,109 @@
+"""Tests for the on-disk face-map cache format bump (v1 dense -> v2 packed).
+
+PR 1's ``.npz`` entries stored the dense int8 signature matrix and no
+``format`` marker.  v2 stores the 2-bit packed form.  The migration
+contract: a v1 file still loads (bit-identically), is transparently
+rewritten as v2 on first touch, and unknown *future* formats are treated
+as a miss rather than misparsed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.cache import FaceMapCache, face_map_cache_key
+from repro.geometry.faces import build_face_map
+
+V1_FIELDS = ("nodes", "centroids", "cell_face", "cell_counts", "adj_indptr", "adj_indices")
+
+
+def _write_v1_entry(path, fm):
+    """Write an entry exactly as the PR-1 cache did: dense, no format key."""
+    arrays = {name: getattr(fm, name) for name in V1_FIELDS}
+    arrays["signatures"] = fm.signatures
+    arrays["grid_spec"] = np.array([fm.grid.width, fm.grid.height, fm.grid.cell_size])
+    arrays["c"] = np.array([fm.c])
+    np.savez_compressed(path, **arrays)
+
+
+@pytest.fixture
+def disk_cache(tmp_path):
+    return FaceMapCache(maxsize=4, disk_dir=tmp_path)
+
+
+def _assert_identical(a, b):
+    assert np.array_equal(a.signatures, b.signatures)
+    assert a.signatures.dtype == b.signatures.dtype
+    for f in V1_FIELDS:
+        assert np.array_equal(getattr(a, f), getattr(b, f)), f
+
+
+class TestV1Migration:
+    def test_v1_entry_loads_bit_identically(
+        self, four_nodes, small_grid, face_map, disk_cache, tmp_path
+    ):
+        key = face_map_cache_key(four_nodes, small_grid, 1.5)
+        _write_v1_entry(tmp_path / f"facemap-{key}.npz", face_map)
+
+        loaded = disk_cache.get_or_build(four_nodes, small_grid, 1.5)
+        _assert_identical(face_map, loaded)
+        assert disk_cache.stats()["disk_hits"] == 1
+        assert disk_cache.stats()["misses"] == 0
+
+    def test_v1_entry_is_rewritten_as_v2(
+        self, four_nodes, small_grid, face_map, disk_cache, tmp_path
+    ):
+        key = face_map_cache_key(four_nodes, small_grid, 1.5)
+        path = tmp_path / f"facemap-{key}.npz"
+        _write_v1_entry(path, face_map)
+
+        disk_cache.get_or_build(four_nodes, small_grid, 1.5)
+        assert disk_cache.stats()["migrations"] == 1
+        with np.load(path) as data:
+            assert int(data["format"][0]) == 2
+            assert "signatures_packed" in data.files
+            assert "signatures" not in data.files
+
+        # the migrated file round-trips bit-identically through a cold cache
+        cold = FaceMapCache(maxsize=4, disk_dir=tmp_path)
+        _assert_identical(face_map, cold.get_or_build(four_nodes, small_grid, 1.5))
+        assert cold.stats()["migrations"] == 0  # already v2
+
+    def test_v2_stores_fewer_signature_bytes(
+        self, four_nodes, small_grid, face_map, disk_cache, tmp_path
+    ):
+        key = face_map_cache_key(four_nodes, small_grid, 1.5)
+        path = tmp_path / f"facemap-{key}.npz"
+        _write_v1_entry(path, face_map)
+        disk_cache.get_or_build(four_nodes, small_grid, 1.5)
+        with np.load(path) as data:
+            assert data["signatures_packed"].nbytes < face_map.signatures.nbytes
+
+    def test_future_format_treated_as_miss(
+        self, four_nodes, small_grid, face_map, disk_cache, tmp_path
+    ):
+        key = face_map_cache_key(four_nodes, small_grid, 1.5)
+        path = tmp_path / f"facemap-{key}.npz"
+        _write_v1_entry(path, face_map)
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["format"] = np.array([99], dtype=np.int64)
+        np.savez_compressed(path, **arrays)
+
+        rebuilt = disk_cache.get_or_build(four_nodes, small_grid, 1.5)
+        assert disk_cache.stats()["misses"] == 1
+        _assert_identical(face_map, rebuilt)
+
+    def test_fresh_writes_are_v2(self, four_nodes, small_grid, disk_cache, tmp_path):
+        disk_cache.get_or_build(four_nodes, small_grid, 1.5)
+        key = face_map_cache_key(four_nodes, small_grid, 1.5)
+        with np.load(tmp_path / f"facemap-{key}.npz") as data:
+            assert int(data["format"][0]) == 2
+            loaded = build_face_map(four_nodes, small_grid, 1.5)
+            from repro.geometry.packing import unpack_signatures
+
+            assert np.array_equal(
+                unpack_signatures(data["signatures_packed"], int(data["n_pairs"][0])),
+                loaded.signatures,
+            )

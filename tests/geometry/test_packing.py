@@ -1,0 +1,122 @@
+"""Tests for repro.geometry.packing — 2-bit signature packing.
+
+The load-bearing property is *order preservation*: comparing packed rows
+as raw bytes must order (and therefore group) rows exactly like comparing
+the dense int8 rows, because ``_unique_rows`` derives face identities and
+face *order* from that comparison.  If packing broke it, packed builds
+would silently renumber faces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.packing import (
+    PackedSignatures,
+    pack_signatures,
+    packed_row_bytes,
+    unpack_signatures,
+)
+
+CODES = (-1, 0, 1)
+
+
+def _random_signatures(rng, n_rows, n_pairs):
+    return rng.choice(np.array(CODES, dtype=np.int8), size=(n_rows, n_pairs))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n_pairs", [1, 2, 3, 4, 5, 7, 8, 9, 190])
+    def test_exact(self, n_pairs):
+        rng = np.random.default_rng(n_pairs)
+        sigs = _random_signatures(rng, 50, n_pairs)
+        packed = pack_signatures(sigs)
+        assert packed.shape == (50, packed_row_bytes(n_pairs))
+        assert np.array_equal(unpack_signatures(packed, n_pairs), sigs)
+
+    def test_all_code_combinations(self):
+        # every 2-pair combination of codes, exhaustively
+        sigs = np.array(
+            [[a, b] for a in CODES for b in CODES], dtype=np.int8
+        )
+        assert np.array_equal(unpack_signatures(pack_signatures(sigs), 2), sigs)
+
+    def test_empty_rows(self):
+        sigs = np.empty((0, 5), dtype=np.int8)
+        packed = pack_signatures(sigs)
+        assert packed.shape == (0, packed_row_bytes(5))
+        assert unpack_signatures(packed, 5).shape == (0, 5)
+
+    def test_float32_unpack_matches_int8(self):
+        rng = np.random.default_rng(0)
+        sigs = _random_signatures(rng, 20, 11)
+        packed = pack_signatures(sigs)
+        f32 = unpack_signatures(packed, 11, dtype=np.float32)
+        assert f32.dtype == np.float32
+        assert np.array_equal(f32, sigs.astype(np.float32))
+
+    def test_rejects_invalid_codes(self):
+        with pytest.raises(ValueError):
+            pack_signatures(np.array([[2, 0]], dtype=np.int8))
+
+
+class TestOrderPreservation:
+    @pytest.mark.parametrize("n_pairs", [3, 4, 6, 190])
+    def test_byte_order_equals_dense_order(self, n_pairs):
+        """lexsort on packed bytes == lexsort on dense rows (as unsigned)."""
+        rng = np.random.default_rng(99 + n_pairs)
+        sigs = _random_signatures(rng, 200, n_pairs)
+        packed = pack_signatures(sigs)
+        # np.unique on void views is how the face builder groups rows
+        dense_view = np.ascontiguousarray(sigs).view(
+            np.dtype((np.void, sigs.dtype.itemsize * n_pairs))
+        ).ravel()
+        packed_view = np.ascontiguousarray(packed).view(
+            np.dtype((np.void, packed.shape[1]))
+        ).ravel()
+        _, dense_first, dense_inv = np.unique(
+            dense_view, return_index=True, return_inverse=True
+        )
+        _, packed_first, packed_inv = np.unique(
+            packed_view, return_index=True, return_inverse=True
+        )
+        assert np.array_equal(dense_first, packed_first)
+        assert np.array_equal(dense_inv, packed_inv)
+
+    def test_padding_bits_are_zero(self):
+        # identical signatures must pack identically regardless of row
+        # history; padding lanes are deterministic (zero)
+        sigs = np.array([[1, -1, 0, 1, -1]], dtype=np.int8)
+        a = pack_signatures(sigs)
+        b = pack_signatures(np.vstack([sigs, sigs]))
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(b[0], b[1])
+
+
+class TestPackedSignatures:
+    def test_from_dense_and_back(self, rng):
+        sigs = _random_signatures(rng, 30, 10)
+        store = PackedSignatures.from_dense(sigs)
+        assert store.n_rows == 30
+        assert store.n_pairs == 10
+        assert np.array_equal(store.dense(), sigs)
+        assert store.nbytes == 30 * packed_row_bytes(10)
+
+    def test_memory_ratio(self, rng):
+        sigs = _random_signatures(rng, 100, 190)  # n=20 deployment shape
+        store = PackedSignatures.from_dense(sigs)
+        assert sigs.nbytes / store.nbytes >= 3.5
+
+    def test_rows_subset(self, rng):
+        sigs = _random_signatures(rng, 40, 9)
+        store = PackedSignatures.from_dense(sigs)
+        idx = np.array([3, 0, 17])
+        assert np.array_equal(store.rows(idx), sigs[idx])
+
+    def test_equality(self, rng):
+        sigs = _random_signatures(rng, 10, 6)
+        assert PackedSignatures.from_dense(sigs) == PackedSignatures.from_dense(sigs)
+        other = sigs.copy()
+        other[0, 0] = -other[0, 0] or 1
+        assert PackedSignatures.from_dense(sigs) != PackedSignatures.from_dense(other)
